@@ -1,0 +1,158 @@
+// Command mflushsim runs one simulation: a workload under an IFetch
+// policy on the paper's machine, printing throughput, latency and energy
+// statistics.
+//
+// Usage:
+//
+//	mflushsim -workload 2W3 -policy MFLUSH [-cycles N] [-warmup N] [-seed N] [-cores N] [-v]
+//
+// Policies: ICOUNT, FLUSH-S<delay>, FLUSH-NS, STALL-S<delay>, MFLUSH,
+// MFLUSH-H<depth>.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	wl := flag.String("workload", "2W3", "workload name (xWy from the paper, or 8W-bzip2-twolf)")
+	pol := flag.String("policy", "MFLUSH", "IFetch policy")
+	cycles := flag.Uint64("cycles", 200000, "measured cycles")
+	warmup := flag.Uint64("warmup", 300000, "warm-up cycles")
+	seed := flag.Uint64("seed", 1, "synthesis seed")
+	cores := flag.Int("cores", 0, "core count override (0: derive from workload)")
+	verbose := flag.Bool("v", false, "print all event counters")
+	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	traces := flag.String("traces", "", "comma-separated trace files (from tracegen) to replay instead of -workload")
+	flag.Parse()
+
+	var w workload.Workload
+	var threadTraces [][]isa.Inst
+	if *traces != "" {
+		for _, path := range strings.Split(*traces, ",") {
+			f, err := os.Open(strings.TrimSpace(path))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mflushsim: %v\n", err)
+				os.Exit(1)
+			}
+			insts, err := trace.ReadAll(f)
+			f.Close()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mflushsim: %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			threadTraces = append(threadTraces, insts)
+		}
+	} else {
+		var ok bool
+		w, ok = workload.ByName(*wl)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mflushsim: unknown workload %q; valid names:\n", *wl)
+			for _, x := range workload.All() {
+				fmt.Fprintf(os.Stderr, "  %s\n", x.Describe())
+			}
+			os.Exit(2)
+		}
+	}
+	spec, err := parsePolicy(*pol)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mflushsim: %v\n", err)
+		os.Exit(2)
+	}
+
+	res, err := sim.Run(sim.Options{
+		Workload: w, Policy: spec,
+		Cycles: *cycles, Warmup: *warmup, Seed: *seed, Cores: *cores,
+		ThreadTraces: threadTraces,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mflushsim: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res.Summary()); err != nil {
+			fmt.Fprintf(os.Stderr, "mflushsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	desc := w.Describe()
+	if *traces != "" {
+		desc = "replayed traces: " + *traces
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "workload\t%s\n", desc)
+	fmt.Fprintf(tw, "policy\t%s\n", res.Policy)
+	fmt.Fprintf(tw, "cycles\t%d (after %d warm-up)\n", res.Cycles, *warmup)
+	fmt.Fprintf(tw, "system IPC\t%.3f\n", res.IPC)
+	for i, ipc := range res.PerCore {
+		fmt.Fprintf(tw, "core %d IPC\t%.3f\n", i, ipc)
+	}
+	for i, n := range res.Committed {
+		fmt.Fprintf(tw, "thread %d committed\t%d\n", i, n)
+	}
+	fmt.Fprintf(tw, "flushes\t%d\n", res.Flushes)
+	fmt.Fprintf(tw, "flushed instructions\t%d\n", res.Energy.FlushedTotal())
+	fmt.Fprintf(tw, "wasted energy\t%.1f units (%.4f per commit)\n",
+		res.WastedEnergy(), res.Energy.WastedPerCommit())
+	h := res.HitLatency
+	fmt.Fprintf(tw, "L2 hit time\tmean %.1f, p50 %d, p90 %d, max %d (n=%d)\n",
+		h.Mean(), h.Percentile(0.5), h.Percentile(0.9), h.Max(), h.Count())
+	tw.Flush()
+
+	if *verbose {
+		fmt.Println("\ncounters:")
+		tw = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		for _, c := range res.Counters.All() {
+			fmt.Fprintf(tw, "  %s\t%d\n", c.Name, c.Value)
+		}
+		tw.Flush()
+	}
+}
+
+func parsePolicy(s string) (sim.PolicySpec, error) {
+	u := strings.ToUpper(strings.TrimSpace(s))
+	switch {
+	case u == "ICOUNT":
+		return sim.SpecICOUNT, nil
+	case u == "FLUSH-NS" || u == "FL-NS":
+		return sim.SpecFlushNS, nil
+	case u == "MFLUSH":
+		return sim.SpecMFLUSH, nil
+	case strings.HasPrefix(u, "MFLUSH-H"):
+		n, err := strconv.Atoi(u[len("MFLUSH-H"):])
+		if err != nil || n < 1 {
+			return sim.PolicySpec{}, fmt.Errorf("bad MFLUSH history depth in %q", s)
+		}
+		return sim.PolicySpec{Kind: sim.MFLUSH, History: n}, nil
+	case strings.HasPrefix(u, "FLUSH-S") || strings.HasPrefix(u, "FL-S"):
+		n, err := strconv.Atoi(u[strings.Index(u, "-S")+2:])
+		if err != nil || n < 1 {
+			return sim.PolicySpec{}, fmt.Errorf("bad FLUSH trigger in %q", s)
+		}
+		return sim.SpecFlushS(n), nil
+	case strings.HasPrefix(u, "STALL-S"):
+		n, err := strconv.Atoi(u[len("STALL-S"):])
+		if err != nil || n < 1 {
+			return sim.PolicySpec{}, fmt.Errorf("bad STALL trigger in %q", s)
+		}
+		return sim.SpecStallS(n), nil
+	default:
+		return sim.PolicySpec{}, fmt.Errorf("unknown policy %q (ICOUNT, FLUSH-S<n>, FLUSH-NS, STALL-S<n>, MFLUSH, MFLUSH-H<n>)", s)
+	}
+}

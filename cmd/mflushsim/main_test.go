@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParsePolicy(t *testing.T) {
+	cases := map[string]sim.PolicySpec{
+		"ICOUNT":    sim.SpecICOUNT,
+		"icount":    sim.SpecICOUNT,
+		"FLUSH-S30": sim.SpecFlushS(30),
+		"fl-s100":   sim.SpecFlushS(100),
+		"FLUSH-NS":  sim.SpecFlushNS,
+		"fl-ns":     sim.SpecFlushNS,
+		"STALL-S50": sim.SpecStallS(50),
+		"MFLUSH":    sim.SpecMFLUSH,
+		"mflush-h4": {Kind: sim.MFLUSH, History: 4},
+	}
+	for in, want := range cases {
+		got, err := parsePolicy(in)
+		if err != nil {
+			t.Errorf("parsePolicy(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("parsePolicy(%q) = %+v, want %+v", in, got, want)
+		}
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	for _, in := range []string{"", "FLUSH", "FLUSH-S", "FLUSH-S0", "FLUSH-Sx",
+		"STALL-S-5", "MFLUSH-H0", "MFLUSH-Hx", "banana"} {
+		if _, err := parsePolicy(in); err == nil {
+			t.Errorf("parsePolicy(%q) accepted", in)
+		}
+	}
+}

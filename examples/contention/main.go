@@ -1,0 +1,54 @@
+// Contention: reproduce the paper's Figure 4 phenomenon — the L2 *hit*
+// time becomes slower and far more variable as more SMT cores share the
+// banked L2 cache — by running the same benchmark pair on machines with
+// one to four cores and printing the hit-time distribution.
+//
+//	go run ./examples/contention
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	mflush "repro"
+)
+
+func main() {
+	fmt.Println("L2 hit time (cycles from load issue) vs number of SMT cores")
+	fmt.Println("machine: paper Figure 1; policy: ICOUNT (does not alter the")
+	fmt.Println("L2 access pattern); workloads: the paper's xW3 series")
+	fmt.Println()
+
+	for _, name := range []string{"2W3", "4W3", "6W3", "8W3"} {
+		w, ok := mflush.WorkloadByName(name)
+		if !ok {
+			log.Fatalf("missing workload %s", name)
+		}
+		res, err := mflush.Run(mflush.Options{
+			Workload: w, Policy: mflush.ICOUNT,
+			Warmup: 150_000, Cycles: 100_000, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		h := res.HitLatency
+		fmt.Printf("%d core(s): mean %.1f  p50 %d  p90 %d  max %d  (n=%d, 20-70cy: %.0f%%)\n",
+			w.Cores(), h.Mean(), h.Percentile(0.5), h.Percentile(0.9),
+			h.Max(), h.Count(), h.FracBetween(20, 70)*100)
+
+		// A small text histogram, 10-cycle bins up to 100.
+		buckets, _ := h.Buckets(10)
+		for b := 2; b < 10 && b < len(buckets); b++ {
+			frac := float64(buckets[b]) / float64(h.Count())
+			bar := strings.Repeat("#", int(frac*50+0.5))
+			fmt.Printf("   %3d-%3d %5.1f%% %s\n", b*10, b*10+9, frac*100, bar)
+		}
+		fmt.Println()
+	}
+	fmt.Println("the MFLUSH operational environment adapts to this variability:")
+	for cores := 1; cores <= 4; cores++ {
+		env := mflush.OperationalEnvironment(cores)
+		fmt.Printf("  %d core(s): %s\n", cores, env)
+	}
+}

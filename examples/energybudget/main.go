@@ -1,0 +1,61 @@
+// Energy budget: reproduce the paper's Figure 11 trade-off on one
+// workload — aggressive static FLUSH triggers buy throughput at the price
+// of re-fetch energy; MFLUSH keeps the throughput while wasting less.
+//
+//	go run ./examples/energybudget [-workload 8W1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	mflush "repro"
+)
+
+func main() {
+	name := flag.String("workload", "8W1", "workload to evaluate")
+	flag.Parse()
+
+	w, ok := mflush.WorkloadByName(*name)
+	if !ok {
+		log.Fatalf("unknown workload %q", *name)
+	}
+	fmt.Printf("energy/throughput trade-off on %s (%d cores)\n", w.Describe(), w.Cores())
+	fmt.Println("wasted energy = accumulated Energy Consumption Factor of every")
+	fmt.Println("instruction squashed by the FLUSH mechanism (paper Figure 10)")
+	fmt.Println()
+
+	specs := []mflush.PolicySpec{
+		mflush.ICOUNT, mflush.FlushS(30), mflush.FlushS(100),
+		mflush.MFLUSH, mflush.MFLUSHHistory(4),
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tIPC\tflushed insts\twasted energy\twaste per 1k commits")
+	var s100, mf float64
+	for _, spec := range specs {
+		res, err := mflush.Run(mflush.Options{
+			Workload: w, Policy: spec,
+			Warmup: 150_000, Cycles: 100_000, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%.0f\t%.1f\n",
+			res.Policy, res.IPC, res.Energy.FlushedTotal(),
+			res.WastedEnergy(), res.Energy.WastedPerCommit()*1000)
+		switch res.Policy {
+		case "FLUSH-S100":
+			s100 = res.WastedEnergy()
+		case "MFLUSH":
+			mf = res.WastedEnergy()
+		}
+	}
+	tw.Flush()
+	if s100 > 0 {
+		fmt.Printf("\nMFLUSH wastes %.0f%% less energy than FLUSH-S100 on this workload\n",
+			(1-mf/s100)*100)
+	}
+}

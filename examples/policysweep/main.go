@@ -1,0 +1,59 @@
+// Policy sweep: reproduce the paper's Detection Moment analysis (Figure 5)
+// on any workload — sweep the speculative FLUSH trigger, and compare with
+// non-speculative FLUSH, STALL and MFLUSH.
+//
+//	go run ./examples/policysweep [-workload 8W3] [-cycles 100000]
+//
+// The point of the experiment: on a CMP with a shared L2 there is no
+// single trigger value that works for every workload, which is what
+// motivates MFLUSH's adaptive Barrier.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	mflush "repro"
+)
+
+func main() {
+	name := flag.String("workload", "8W3", "workload to sweep")
+	cycles := flag.Uint64("cycles", 100_000, "measured cycles")
+	warmup := flag.Uint64("warmup", 150_000, "warm-up cycles")
+	flag.Parse()
+
+	w, ok := mflush.WorkloadByName(*name)
+	if !ok {
+		log.Fatalf("unknown workload %q", *name)
+	}
+	fmt.Printf("Detection Moment sweep on %s (%d cores)\n\n", w.Describe(), w.Cores())
+
+	specs := []mflush.PolicySpec{mflush.ICOUNT}
+	for _, trig := range []int{30, 50, 70, 90, 110, 130, 150} {
+		specs = append(specs, mflush.FlushS(trig))
+	}
+	specs = append(specs, mflush.FlushNS, mflush.StallS(30), mflush.MFLUSH)
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "policy\tIPC\tflushes\twasted energy")
+	best, bestIPC := "", 0.0
+	for _, spec := range specs {
+		res, err := mflush.Run(mflush.Options{
+			Workload: w, Policy: spec,
+			Warmup: *warmup, Cycles: *cycles, Seed: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(tw, "%s\t%.3f\t%d\t%.0f\n",
+			res.Policy, res.IPC, res.Flushes, res.WastedEnergy())
+		if res.IPC > bestIPC {
+			bestIPC, best = res.IPC, res.Policy
+		}
+	}
+	tw.Flush()
+	fmt.Printf("\nbest policy for %s: %s (%.3f IPC)\n", w.Name, best, bestIPC)
+}

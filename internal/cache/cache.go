@@ -1,0 +1,276 @@
+// Package cache provides the tag-array models used throughout the memory
+// hierarchy: a banked set-associative cache with LRU replacement, a miss
+// status holding register (MSHR) file, and a fully-associative TLB.
+//
+// These are timing models: they track presence and replacement, not data.
+// Bank port occupancy is scheduled by the owning controller (internal/mem),
+// which knows the clock.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+)
+
+// Cache is a banked set-associative tag store with true-LRU replacement.
+// Addresses are byte addresses; the cache derives line, bank and set
+// indices from its geometry. Line addresses are distributed across banks
+// by their low-order line bits, so consecutive lines hit different banks.
+type Cache struct {
+	geom     config.CacheGeom
+	sets     int
+	lineBits uint
+	bankMask uint64
+	// tags[bank][set*assoc+way]; 0 means empty, otherwise lineAddr+1.
+	tags [][]uint64
+	// stamp[bank][set*assoc+way]: LRU timestamps.
+	stamp   [][]uint64
+	clock   uint64
+	hits    uint64
+	misses  uint64
+	inserts uint64
+}
+
+// New constructs a cache from its geometry.
+func New(geom config.CacheGeom) *Cache {
+	sets := geom.Sets()
+	if sets < 1 {
+		panic(fmt.Sprintf("cache: geometry %+v yields no sets", geom))
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < geom.LineBytes {
+		lineBits++
+	}
+	c := &Cache{
+		geom:     geom,
+		sets:     sets,
+		lineBits: lineBits,
+		bankMask: uint64(geom.Banks - 1),
+		tags:     make([][]uint64, geom.Banks),
+		stamp:    make([][]uint64, geom.Banks),
+	}
+	for b := range c.tags {
+		c.tags[b] = make([]uint64, sets*geom.Assoc)
+		c.stamp[b] = make([]uint64, sets*geom.Assoc)
+	}
+	return c
+}
+
+// Geometry returns the construction geometry.
+func (c *Cache) Geometry() config.CacheGeom { return c.geom }
+
+// LineAddr converts a byte address to a line address.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineBits }
+
+// BankOf returns the bank index serving the given byte address.
+func (c *Cache) BankOf(addr uint64) int {
+	return int(c.LineAddr(addr) & c.bankMask)
+}
+
+func (c *Cache) setOf(line uint64) int {
+	return int((line >> uint(bitsFor(c.geom.Banks))) % uint64(c.sets))
+}
+
+// bitsFor returns log2 of a power of two.
+func bitsFor(n int) int {
+	b := 0
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// Probe reports whether the line holding addr is present, without touching
+// replacement state or statistics.
+func (c *Cache) Probe(addr uint64) bool {
+	line := c.LineAddr(addr)
+	bank := c.BankOf(addr)
+	base := c.setOf(line) * c.geom.Assoc
+	tag := line + 1
+	for w := 0; w < c.geom.Assoc; w++ {
+		if c.tags[bank][base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access performs a lookup for addr, updating LRU state and hit/miss
+// counters. It returns true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	line := c.LineAddr(addr)
+	bank := c.BankOf(addr)
+	base := c.setOf(line) * c.geom.Assoc
+	tag := line + 1
+	for w := 0; w < c.geom.Assoc; w++ {
+		if c.tags[bank][base+w] == tag {
+			c.stamp[bank][base+w] = c.clock
+			c.hits++
+			return true
+		}
+	}
+	c.misses++
+	return false
+}
+
+// Fill inserts the line holding addr, evicting the LRU way if the set is
+// full. It returns the evicted line address and true if a valid line was
+// displaced.
+func (c *Cache) Fill(addr uint64) (evicted uint64, wasValid bool) {
+	c.clock++
+	c.inserts++
+	line := c.LineAddr(addr)
+	bank := c.BankOf(addr)
+	base := c.setOf(line) * c.geom.Assoc
+	tag := line + 1
+	victim := 0
+	for w := 0; w < c.geom.Assoc; w++ {
+		i := base + w
+		if c.tags[bank][i] == tag {
+			// Already present (a racing fill); just refresh.
+			c.stamp[bank][i] = c.clock
+			return 0, false
+		}
+		if c.tags[bank][i] == 0 {
+			c.tags[bank][i] = tag
+			c.stamp[bank][i] = c.clock
+			return 0, false
+		}
+		if c.stamp[bank][i] < c.stamp[bank][base+victim] {
+			victim = w
+		}
+	}
+	i := base + victim
+	old := c.tags[bank][i] - 1
+	c.tags[bank][i] = tag
+	c.stamp[bank][i] = c.clock
+	return old << c.lineBits, true
+}
+
+// Stats returns cumulative hits, misses and fills.
+func (c *Cache) Stats() (hits, misses, inserts uint64) {
+	return c.hits, c.misses, c.inserts
+}
+
+// MissRate returns misses / accesses, or 0 before any access.
+func (c *Cache) MissRate() float64 {
+	tot := c.hits + c.misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(tot)
+}
+
+// MSHR is a miss status holding register file. Each entry tracks one
+// outstanding line fill; subsequent misses to the same line merge into the
+// existing entry instead of issuing duplicate requests.
+type MSHR struct {
+	capacity int
+	entries  map[uint64]*MSHREntry
+}
+
+// MSHREntry records one outstanding miss.
+type MSHREntry struct {
+	// Line is the line address being fetched.
+	Line uint64
+	// Waiters is the number of requests merged into this entry.
+	Waiters int
+	// Issued marks whether the fill request has been sent downstream.
+	Issued bool
+}
+
+// NewMSHR returns an MSHR file with the given entry count.
+func NewMSHR(capacity int) *MSHR {
+	if capacity <= 0 {
+		panic("cache: MSHR capacity must be positive")
+	}
+	return &MSHR{capacity: capacity, entries: make(map[uint64]*MSHREntry, capacity)}
+}
+
+// Lookup returns the entry for the line, or nil.
+func (m *MSHR) Lookup(line uint64) *MSHREntry { return m.entries[line] }
+
+// Allocate records a miss for line. If an entry already exists the miss is
+// merged (secondary miss) and merged=true is returned. If the file is full
+// and no entry exists, ok=false is returned and the requester must stall.
+func (m *MSHR) Allocate(line uint64) (e *MSHREntry, merged, ok bool) {
+	if e := m.entries[line]; e != nil {
+		e.Waiters++
+		return e, true, true
+	}
+	if len(m.entries) >= m.capacity {
+		return nil, false, false
+	}
+	e = &MSHREntry{Line: line, Waiters: 1}
+	m.entries[line] = e
+	return e, false, true
+}
+
+// Free releases the entry for line when its fill completes, returning the
+// number of waiters that were blocked on it. Freeing an absent line
+// panics: it indicates double-completion.
+func (m *MSHR) Free(line uint64) int {
+	e := m.entries[line]
+	if e == nil {
+		panic(fmt.Sprintf("cache: MSHR free of absent line %#x", line))
+	}
+	delete(m.entries, line)
+	return e.Waiters
+}
+
+// InUse returns the number of live entries.
+func (m *MSHR) InUse() int { return len(m.entries) }
+
+// Full reports whether a new (non-merging) allocation would fail.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+
+// Capacity returns the configured entry count.
+func (m *MSHR) Capacity() int { return m.capacity }
+
+// TLB is a fully-associative translation buffer with LRU replacement over
+// page numbers.
+type TLB struct {
+	capacity int
+	stamp    map[uint64]uint64
+	clock    uint64
+	hits     uint64
+	misses   uint64
+}
+
+// NewTLB returns a TLB with the given entry count.
+func NewTLB(capacity int) *TLB {
+	if capacity <= 0 {
+		panic("cache: TLB capacity must be positive")
+	}
+	return &TLB{capacity: capacity, stamp: make(map[uint64]uint64, capacity)}
+}
+
+// Access looks up a page number, inserting it on miss (hardware-walked
+// TLB). It returns true on hit.
+func (t *TLB) Access(page uint64) bool {
+	t.clock++
+	if _, ok := t.stamp[page]; ok {
+		t.stamp[page] = t.clock
+		t.hits++
+		return true
+	}
+	t.misses++
+	if len(t.stamp) >= t.capacity {
+		var lruPage uint64
+		lru := ^uint64(0)
+		for p, s := range t.stamp {
+			if s < lru {
+				lru = s
+				lruPage = p
+			}
+		}
+		delete(t.stamp, lruPage)
+	}
+	t.stamp[page] = t.clock
+	return false
+}
+
+// Stats returns cumulative hits and misses.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }

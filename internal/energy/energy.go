@@ -1,0 +1,181 @@
+// Package energy implements the paper's energy model (Section 4.3).
+//
+// Committing one instruction costs one "energy unit", distributed over the
+// pipeline resources per Folegnani & González (the paper's Figure 9). The
+// Energy Consumption Factor (Figure 10) accumulates that distribution
+// through the pipeline stages: an instruction flushed at stage S has
+// already spent AccumFactor(S) energy units that must be spent again when
+// it is re-fetched — that is the Wasted Energy of Figure 11.
+package energy
+
+import "fmt"
+
+// Stage is a pipeline stage position for energy accounting.
+type Stage uint8
+
+const (
+	// StageFetch through StageCommit follow the paper's Figure 10 rows.
+	StageFetch Stage = iota
+	StageDecode
+	StageRename
+	StageQueue
+	StageRegRead
+	StageExecute
+	StageRegWrite
+	StageCommit
+	numStages
+)
+
+// NumStages is the number of accounting stages.
+const NumStages = int(numStages)
+
+// String names the stage as in Figure 10.
+func (s Stage) String() string {
+	switch s {
+	case StageFetch:
+		return "Fetch"
+	case StageDecode:
+		return "Decode"
+	case StageRename:
+		return "Rename"
+	case StageQueue:
+		return "Queue"
+	case StageRegRead:
+		return "Reg.Read"
+	case StageExecute:
+		return "Execute"
+	case StageRegWrite:
+		return "Reg.Write"
+	case StageCommit:
+		return "Commit"
+	default:
+		return fmt.Sprintf("stage(%d)", uint8(s))
+	}
+}
+
+// localFactor is the paper's Figure 10 "Local" column: the fraction of one
+// energy unit spent in each stage.
+var localFactor = [numStages]float64{
+	StageFetch:    0.13,
+	StageDecode:   0.03,
+	StageRename:   0.22,
+	StageQueue:    0.26,
+	StageRegRead:  0.05,
+	StageExecute:  0.13,
+	StageRegWrite: 0.05,
+	StageCommit:   0.13,
+}
+
+// LocalFactor returns the Figure 10 "Local" energy share of a stage.
+func LocalFactor(s Stage) float64 { return localFactor[s] }
+
+// AccumFactor returns the Figure 10 "Accumulated" column: the energy spent
+// by an instruction that has progressed through stage s inclusive.
+func AccumFactor(s Stage) float64 {
+	sum := 0.0
+	for i := Stage(0); i <= s && i < numStages; i++ {
+		sum += localFactor[i]
+	}
+	// Round to the paper's two decimals to match Figure 10 exactly.
+	return float64(int(sum*100+0.5)) / 100
+}
+
+// ResourceShare is one row of the paper's Figure 9(a): the fraction of
+// total pipeline energy consumed by one hardware resource.
+type ResourceShare struct {
+	Resource string
+	Share    float64
+	// Stages lists the accounting stages the resource maps to
+	// (Figure 9(b)).
+	Stages []Stage
+}
+
+// Distribution returns the Figure 9 energy distribution per resource.
+// Shares follow Folegnani & González's issue-logic analysis as summarised
+// by the paper; they sum to 1.
+func Distribution() []ResourceShare {
+	return []ResourceShare{
+		{Resource: "I-cache + fetch", Share: 0.13, Stages: []Stage{StageFetch}},
+		{Resource: "Decode logic", Share: 0.03, Stages: []Stage{StageDecode}},
+		{Resource: "Rename map + free list", Share: 0.22, Stages: []Stage{StageRename}},
+		{Resource: "Issue queues + wakeup/select", Share: 0.26, Stages: []Stage{StageQueue}},
+		{Resource: "Register file read", Share: 0.05, Stages: []Stage{StageRegRead}},
+		{Resource: "Execution units + bypass", Share: 0.13, Stages: []Stage{StageExecute}},
+		{Resource: "Register file write", Share: 0.05, Stages: []Stage{StageRegWrite}},
+		{Resource: "ROB + commit", Share: 0.13, Stages: []Stage{StageCommit}},
+	}
+}
+
+// Account accumulates wasted-energy statistics for one simulation. The
+// zero value is ready to use.
+type Account struct {
+	flushedByStage   [numStages]uint64
+	wasted           float64
+	committed        uint64
+	wrongPathByStage [numStages]uint64
+}
+
+// OnFlushed records one instruction squashed by the FLUSH mechanism while
+// at the given stage; its accumulated energy is wasted because it will be
+// re-fetched.
+func (a *Account) OnFlushed(s Stage) {
+	a.flushedByStage[s]++
+	a.wasted += AccumFactor(s)
+}
+
+// OnWrongPath records a wrong-path instruction squashed at the given
+// stage. Tracked separately: the paper's Figure 11 counts only
+// FLUSH-mechanism waste, which is what Wasted() returns.
+func (a *Account) OnWrongPath(s Stage) { a.wrongPathByStage[s]++ }
+
+// OnCommit records one committed instruction (1 energy unit of useful
+// work).
+func (a *Account) OnCommit() { a.committed++ }
+
+// Wasted returns the FLUSH-mechanism wasted energy in energy units
+// (Figure 11's metric).
+func (a *Account) Wasted() float64 { return a.wasted }
+
+// Committed returns the committed-instruction count (the useful energy in
+// units).
+func (a *Account) Committed() uint64 { return a.committed }
+
+// FlushedTotal returns the number of instructions squashed by FLUSH.
+func (a *Account) FlushedTotal() uint64 {
+	var n uint64
+	for _, c := range a.flushedByStage {
+		n += c
+	}
+	return n
+}
+
+// FlushedByStage returns the per-stage FLUSH squash counts.
+func (a *Account) FlushedByStage() [NumStages]uint64 { return a.flushedByStage }
+
+// WrongPathTotal returns the number of squashed wrong-path instructions.
+func (a *Account) WrongPathTotal() uint64 {
+	var n uint64
+	for _, c := range a.wrongPathByStage {
+		n += c
+	}
+	return n
+}
+
+// WastedPerCommit returns wasted energy normalised by useful work, the
+// comparable quantity across runs of equal cycle budget.
+func (a *Account) WastedPerCommit() float64 {
+	if a.committed == 0 {
+		return 0
+	}
+	return a.wasted / float64(a.committed)
+}
+
+// Merge folds other into a.
+func (a *Account) Merge(other *Account) {
+	for i := range a.flushedByStage {
+		a.flushedByStage[i] += other.flushedByStage[i]
+		a.wrongPathByStage[i] += other.wrongPathByStage[i]
+	}
+	a.wasted += other.wasted
+	a.committed += other.committed
+}

@@ -1,0 +1,133 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLocalFactorsMatchFigure10(t *testing.T) {
+	want := map[Stage]float64{
+		StageFetch: 0.13, StageDecode: 0.03, StageRename: 0.22,
+		StageQueue: 0.26, StageRegRead: 0.05, StageExecute: 0.13,
+		StageRegWrite: 0.05, StageCommit: 0.13,
+	}
+	for s, w := range want {
+		if got := LocalFactor(s); got != w {
+			t.Errorf("%v local factor = %v, want %v", s, got, w)
+		}
+	}
+}
+
+func TestAccumFactorsMatchFigure10(t *testing.T) {
+	// The paper's Accumulated column: 0.13 0.16 0.38 0.64 0.69 0.82 0.87 1.
+	want := []float64{0.13, 0.16, 0.38, 0.64, 0.69, 0.82, 0.87, 1.00}
+	for s := Stage(0); s < Stage(NumStages); s++ {
+		if got := AccumFactor(s); math.Abs(got-want[s]) > 1e-9 {
+			t.Errorf("%v accumulated = %v, want %v", s, got, want[s])
+		}
+	}
+}
+
+func TestAccumMonotonicProperty(t *testing.T) {
+	f := func(raw uint8) bool {
+		s := Stage(raw % uint8(NumStages))
+		if s == 0 {
+			return AccumFactor(s) == LocalFactor(s)
+		}
+		return AccumFactor(s) >= AccumFactor(s-1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributionSumsToOne(t *testing.T) {
+	sum := 0.0
+	stagesSeen := map[Stage]bool{}
+	for _, r := range Distribution() {
+		sum += r.Share
+		for _, s := range r.Stages {
+			stagesSeen[s] = true
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+	if len(stagesSeen) != NumStages {
+		t.Fatalf("distribution covers %d stages, want %d", len(stagesSeen), NumStages)
+	}
+}
+
+func TestStageStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stage(0); s < Stage(NumStages); s++ {
+		name := s.String()
+		if name == "" || seen[name] {
+			t.Errorf("stage %d has bad/duplicate name %q", s, name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestAccountWastedEnergy(t *testing.T) {
+	var a Account
+	a.OnFlushed(StageQueue)   // 0.64
+	a.OnFlushed(StageFetch)   // 0.13
+	a.OnFlushed(StageExecute) // 0.82
+	if got, want := a.Wasted(), 0.64+0.13+0.82; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("wasted = %v, want %v", got, want)
+	}
+	if a.FlushedTotal() != 3 {
+		t.Fatalf("flushed = %d", a.FlushedTotal())
+	}
+	by := a.FlushedByStage()
+	if by[StageQueue] != 1 || by[StageFetch] != 1 || by[StageExecute] != 1 {
+		t.Fatalf("per-stage counts wrong: %v", by)
+	}
+}
+
+func TestAccountCommitAndNormalisation(t *testing.T) {
+	var a Account
+	if a.WastedPerCommit() != 0 {
+		t.Fatal("empty account should normalise to 0")
+	}
+	for i := 0; i < 10; i++ {
+		a.OnCommit()
+	}
+	a.OnFlushed(StageCommit) // 1.0
+	if got := a.WastedPerCommit(); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("wasted/commit = %v, want 0.1", got)
+	}
+	if a.Committed() != 10 {
+		t.Fatalf("committed = %d", a.Committed())
+	}
+}
+
+func TestAccountWrongPathSeparate(t *testing.T) {
+	var a Account
+	a.OnWrongPath(StageQueue)
+	if a.Wasted() != 0 {
+		t.Fatal("wrong-path squashes must not count as FLUSH waste")
+	}
+	if a.WrongPathTotal() != 1 {
+		t.Fatalf("wrong-path total = %d", a.WrongPathTotal())
+	}
+}
+
+func TestAccountMerge(t *testing.T) {
+	var a, b Account
+	a.OnFlushed(StageFetch)
+	a.OnCommit()
+	b.OnFlushed(StageRename)
+	b.OnCommit()
+	b.OnWrongPath(StageFetch)
+	a.Merge(&b)
+	if a.FlushedTotal() != 2 || a.Committed() != 2 || a.WrongPathTotal() != 1 {
+		t.Fatalf("merge lost events: %d/%d/%d",
+			a.FlushedTotal(), a.Committed(), a.WrongPathTotal())
+	}
+	if got, want := a.Wasted(), 0.13+0.38; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("merged wasted = %v, want %v", got, want)
+	}
+}

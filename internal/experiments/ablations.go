@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The ablations quantify the design choices DESIGN.md calls out: the
+// MCReg history depth the paper mentions as an optional extension, the
+// STALL response action MFLUSH builds on, and the sensitivity of the
+// whole mechanism to the per-core MSHR size (which bounds the
+// memory-level parallelism a flush can disturb).
+
+// AblationRow is one policy/configuration variant measured on one
+// workload.
+type AblationRow struct {
+	Workload string
+	Variant  string
+	IPC      float64
+	Wasted   float64
+	Flushes  uint64
+}
+
+// MCRegHistoryDepths are the history configurations swept by
+// AblationMCRegHistory. Depth 1 is the published single-register design.
+var MCRegHistoryDepths = []int{1, 2, 4, 8}
+
+// AblationMCRegHistory evaluates MFLUSH with deeper MCReg histories
+// (paper §4.1: "the MCReg registers admit more complex configurations,
+// involving queues") on a contended and an uncontended workload.
+func AblationMCRegHistory(cfg Config) ([]AblationRow, error) {
+	w8, _ := workload.ByName("8W3")
+	w4, _ := workload.ByName("4W3")
+	var opts []sim.Options
+	var rows []AblationRow
+	for _, w := range []workload.Workload{w4, w8} {
+		for _, depth := range MCRegHistoryDepths {
+			opts = append(opts, cfg.options(w, sim.PolicySpec{Kind: sim.MFLUSH, History: depth}))
+			rows = append(rows, AblationRow{Workload: w.Name, Variant: fmt.Sprintf("MCReg history %d", depth)})
+		}
+	}
+	res, err := runAll(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		rows[i].IPC = r.IPC
+		rows[i].Wasted = r.WastedEnergy()
+		rows[i].Flushes = r.Flushes
+	}
+	return rows, nil
+}
+
+// AblationResponseAction compares the two response actions the paper
+// discusses — STALL (keep resources, stop fetching) and FLUSH (free
+// resources) — plus MFLUSH, which blends them through the Preventive
+// State.
+func AblationResponseAction(cfg Config) ([]AblationRow, error) {
+	w2, _ := workload.ByName("2W3")
+	w8, _ := workload.ByName("8W3")
+	specs := []sim.PolicySpec{
+		sim.SpecICOUNT,
+		sim.SpecStallS(30),
+		sim.SpecFlushS(30),
+		sim.SpecMFLUSH,
+	}
+	var opts []sim.Options
+	var rows []AblationRow
+	for _, w := range []workload.Workload{w2, w8} {
+		for _, spec := range specs {
+			opts = append(opts, cfg.options(w, spec))
+			rows = append(rows, AblationRow{Workload: w.Name, Variant: spec.String()})
+		}
+	}
+	res, err := runAll(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		rows[i].IPC = r.IPC
+		rows[i].Wasted = r.WastedEnergy()
+		rows[i].Flushes = r.Flushes
+	}
+	return rows, nil
+}
+
+// MSHRSizes are the per-core MSHR capacities swept by AblationMSHR.
+var MSHRSizes = []int{4, 8, 16, 32}
+
+// AblationMSHR sweeps the per-core MSHR size under MFLUSH: the MSHR bounds
+// each thread's memory-level parallelism and therefore both the clog a
+// blocked thread causes and the work a flush destroys.
+func AblationMSHR(cfg Config) ([]AblationRow, error) {
+	w, _ := workload.ByName("8W3")
+	var opts []sim.Options
+	var rows []AblationRow
+	for _, size := range MSHRSizes {
+		size := size
+		o := cfg.options(w, sim.SpecMFLUSH)
+		o.Tweak = func(c *config.Config) { c.Core.MSHREntries = size }
+		opts = append(opts, o)
+		rows = append(rows, AblationRow{Workload: w.Name, Variant: fmt.Sprintf("MSHR %d", size)})
+	}
+	res, err := runAll(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		rows[i].IPC = r.IPC
+		rows[i].Wasted = r.WastedEnergy()
+		rows[i].Flushes = r.Flushes
+	}
+	return rows, nil
+}
+
+// RegReserveSizes are the per-thread rename-register reservations swept by
+// AblationRegReserve.
+var RegReserveSizes = []int{0, 16, 24, 48, 96}
+
+// AblationRegReserve sweeps the per-thread register reservation, the knob
+// that controls how completely a blocked thread can starve its partner —
+// the mechanism behind the paper's ICOUNT pathology (reserve 0 recreates a
+// fully shared pool; 96 approaches a static partition).
+func AblationRegReserve(cfg Config) ([]AblationRow, error) {
+	w, _ := workload.ByName("2W3")
+	var opts []sim.Options
+	var rows []AblationRow
+	for _, spec := range []sim.PolicySpec{sim.SpecICOUNT, sim.SpecFlushS(30)} {
+		for _, reserve := range RegReserveSizes {
+			reserve := reserve
+			o := cfg.options(w, spec)
+			o.Tweak = func(c *config.Config) { c.Core.RegReservePerThread = reserve }
+			opts = append(opts, o)
+			rows = append(rows, AblationRow{
+				Workload: w.Name,
+				Variant:  fmt.Sprintf("%s reserve %d", spec, reserve),
+			})
+		}
+	}
+	res, err := runAll(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range res {
+		rows[i].IPC = r.IPC
+		rows[i].Wasted = r.WastedEnergy()
+		rows[i].Flushes = r.Flushes
+	}
+	return rows, nil
+}

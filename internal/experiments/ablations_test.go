@@ -1,0 +1,83 @@
+package experiments
+
+import "testing"
+
+func TestAblationMCRegHistory(t *testing.T) {
+	rows, err := AblationMCRegHistory(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(MCRegHistoryDepths) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.IPC <= 0 {
+			t.Errorf("%s/%s: non-positive IPC", r.Workload, r.Variant)
+		}
+	}
+}
+
+func TestAblationResponseAction(t *testing.T) {
+	rows, err := AblationResponseAction(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVariant := map[string]AblationRow{}
+	for _, r := range rows {
+		if r.Workload == "2W3" {
+			byVariant[r.Variant] = r
+		}
+	}
+	// STALL never squashes, so it must waste no flush energy; FLUSH must.
+	if byVariant["STALL-S30"].Wasted != 0 {
+		t.Errorf("STALL wasted energy %v", byVariant["STALL-S30"].Wasted)
+	}
+	if byVariant["FLUSH-S30"].Wasted <= 0 {
+		t.Error("FLUSH-S30 wasted no energy on a memory-bound pair")
+	}
+	if byVariant["ICOUNT"].Flushes != 0 {
+		t.Error("ICOUNT flushed")
+	}
+}
+
+func TestAblationMSHR(t *testing.T) {
+	rows, err := AblationMSHR(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(MSHRSizes) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// More MSHRs (more memory-level parallelism) must not make the
+	// machine slower in any dramatic way; specifically the largest size
+	// should beat the smallest.
+	if rows[len(rows)-1].IPC <= rows[0].IPC*0.9 {
+		t.Errorf("MSHR 32 IPC %.3f not above MSHR 4 IPC %.3f",
+			rows[len(rows)-1].IPC, rows[0].IPC)
+	}
+}
+
+func TestAblationRegReserve(t *testing.T) {
+	rows, err := AblationRegReserve(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(RegReserveSizes) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Under ICOUNT, a larger reservation must help the memory-bound pair
+	// (the partner is protected from the clog).
+	var icount0, icount96 float64
+	for _, r := range rows {
+		switch r.Variant {
+		case "ICOUNT reserve 0":
+			icount0 = r.IPC
+		case "ICOUNT reserve 96":
+			icount96 = r.IPC
+		}
+	}
+	if icount96 <= icount0 {
+		t.Errorf("ICOUNT with full partition (%.3f) not above shared pool (%.3f)",
+			icount96, icount0)
+	}
+}

@@ -1,0 +1,92 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClassPredicates(t *testing.T) {
+	cases := []struct {
+		c                    Class
+		mem, control, usesFP bool
+	}{
+		{ClassInt, false, false, false},
+		{ClassIntMul, false, false, false},
+		{ClassFP, false, false, true},
+		{ClassFPDiv, false, false, true},
+		{ClassLoad, true, false, false},
+		{ClassStore, true, false, false},
+		{ClassBranch, false, true, false},
+		{ClassCall, false, true, false},
+		{ClassReturn, false, true, false},
+	}
+	for _, tc := range cases {
+		if got := tc.c.IsMem(); got != tc.mem {
+			t.Errorf("%v.IsMem() = %t, want %t", tc.c, got, tc.mem)
+		}
+		if got := tc.c.IsControl(); got != tc.control {
+			t.Errorf("%v.IsControl() = %t, want %t", tc.c, got, tc.control)
+		}
+		if got := tc.c.UsesFP(); got != tc.usesFP {
+			t.Errorf("%v.UsesFP() = %t, want %t", tc.c, got, tc.usesFP)
+		}
+	}
+}
+
+func TestClassStringsDistinct(t *testing.T) {
+	seen := map[string]Class{}
+	for c := Class(0); c < Class(NumClasses); c++ {
+		s := c.String()
+		if s == "" || strings.HasPrefix(s, "class(") {
+			t.Errorf("class %d has no mnemonic", c)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("classes %v and %v share mnemonic %q", prev, c, s)
+		}
+		seen[s] = c
+	}
+	if got := Class(200).String(); !strings.HasPrefix(got, "class(") {
+		t.Errorf("unknown class string = %q", got)
+	}
+}
+
+func TestExecLatencyPositive(t *testing.T) {
+	for c := Class(0); c < Class(NumClasses); c++ {
+		if c.ExecLatency() < 1 {
+			t.Errorf("%v has non-positive latency", c)
+		}
+	}
+	// Long-latency classes must actually be longer than simple ALU ops.
+	if ClassFPDiv.ExecLatency() <= ClassFP.ExecLatency() {
+		t.Error("fpdiv should be slower than fp")
+	}
+	if ClassIntMul.ExecLatency() <= ClassInt.ExecLatency() {
+		t.Error("imul should be slower than int")
+	}
+}
+
+func TestInstHasDest(t *testing.T) {
+	in := Inst{Dest: 5}
+	if !in.HasDest() {
+		t.Error("dest 5 should count as a destination")
+	}
+	in.Dest = InvalidReg
+	if in.HasDest() {
+		t.Error("InvalidReg should not count as a destination")
+	}
+}
+
+func TestInstString(t *testing.T) {
+	load := Inst{PC: 0x100, Class: ClassLoad, Dest: 3, Addr: 0x2000}
+	if s := load.String(); !strings.Contains(s, "load") || !strings.Contains(s, "0x2000") {
+		t.Errorf("load string %q missing fields", s)
+	}
+	br := Inst{PC: 0x104, Class: ClassBranch, Taken: true, Target: 0x200}
+	if s := br.String(); !strings.Contains(s, "branch") || !strings.Contains(s, "taken=true") {
+		t.Errorf("branch string %q missing fields", s)
+	}
+	alu := Inst{PC: 0x108, Class: ClassInt, Dest: 1, Src1: 2, Src2: 3}
+	if s := alu.String(); !strings.Contains(s, "int") {
+		t.Errorf("alu string %q missing class", s)
+	}
+}

@@ -1,0 +1,321 @@
+// Package mem assembles the shared part of the memory hierarchy: the
+// multi-banked second-level cache reached over the shared bus, backed by
+// main memory.
+//
+// Timing model (all latencies from config):
+//
+//	core L1 miss --request bus--> L2 bank queue --[bank busy Latency]-->
+//	    hit:  --response bus--> core
+//	    miss: --memory pipe (MainMemoryLatency)--> L2 bank fill
+//	          --[bank busy Latency]--> --response bus--> core
+//
+// Each L2 bank is single-ported: it serves one operation (tag check or
+// fill) at a time, each occupying the bank for the full access latency.
+// Queueing at the banks and at the bus arbiter is what makes the L2 *hit*
+// time variable when several SMT cores share the cache — the effect the
+// paper's Figure 4 quantifies and MFLUSH adapts to.
+package mem
+
+import (
+	"repro/internal/bus"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/stats"
+)
+
+// Request is one core-to-L2 transaction. The pipeline allocates it on an
+// L1 miss and reads the result fields when it returns.
+type Request struct {
+	// CoreID routes the response back to the issuing core.
+	CoreID int
+	// ThreadID identifies the hardware context within the core.
+	ThreadID int
+	// Addr is the byte address of the access.
+	Addr uint64
+	// IsInstr marks icache fills (vs dcache fills).
+	IsInstr bool
+	// NoWake marks fire-and-forget requests (store-miss fills): the
+	// response fills the cache but wakes no instruction.
+	NoWake bool
+	// IssuedAt is the cycle the originating load issued (or the fetch
+	// stalled); latency measurements are taken from here.
+	IssuedAt uint64
+	// EnteredL2At is the cycle the request was submitted to the shared
+	// system (L1 miss detection time).
+	EnteredL2At uint64
+	// Bank is the L2 bank serving the request, fixed by the address.
+	Bank int
+	// L2Hit reports whether the tag check hit; valid once completed.
+	L2Hit bool
+	// CompletedAt is the cycle the response reached the core.
+	CompletedAt uint64
+}
+
+// L2System is the shared L2 cache plus its interconnect and memory
+// backend. It is driven by one Tick per cycle.
+type L2System struct {
+	cfg  config.Config
+	l2   *cache.Cache
+	req  *bus.Bus[*Request]
+	resp *bus.Bus[*Request]
+
+	banks []bankState
+
+	// Main memory: bounded issue bandwidth, fixed service latency.
+	memPending  fifoReq
+	memInFlight fifoTimed
+	memStarts   int
+
+	// missDetected accumulates requests whose L2 tag check missed this
+	// cycle — the non-speculative FLUSH Detection Moment signal.
+	missDetected []*Request
+
+	// Measurements.
+	hitLatency  *stats.Histogram // load-issue to response, L2 hits only
+	missLatency *stats.Histogram
+	counters    stats.Set
+}
+
+type bankOp struct {
+	req  *Request
+	fill bool
+}
+
+type bankState struct {
+	queue   fifoOp
+	current bankOp
+	busy    bool
+	doneAt  uint64
+}
+
+// memStartsPerCycle bounds how many L2 misses main memory can begin
+// servicing each cycle (DRAM channel bandwidth).
+const memStartsPerCycle = 4
+
+// latencyHistBound caps the exact-count range of the latency histograms.
+const latencyHistBound = 1024
+
+// NewL2System builds the shared system from the machine configuration.
+func NewL2System(cfg config.Config) *L2System {
+	return &L2System{
+		cfg:         cfg,
+		l2:          cache.New(cfg.Mem.L2),
+		req:         bus.New[*Request](cfg.Mem.BusDelay, 1),
+		resp:        bus.New[*Request](cfg.Mem.BusDelay, 1),
+		banks:       make([]bankState, cfg.Mem.L2.Banks),
+		memStarts:   memStartsPerCycle,
+		hitLatency:  stats.NewHistogram(latencyHistBound),
+		missLatency: stats.NewHistogram(latencyHistBound),
+	}
+}
+
+// BankOf returns the L2 bank that will serve the given address. The
+// MFLUSH policy uses this to select the MCReg before the access completes.
+func (s *L2System) BankOf(addr uint64) int { return s.l2.BankOf(addr) }
+
+// Submit enters a request into the shared system at cycle now.
+func (s *L2System) Submit(r *Request, now uint64) {
+	r.EnteredL2At = now
+	r.Bank = s.BankOf(r.Addr)
+	s.counters.Inc("l2.requests", 1)
+	s.req.Push(now, r)
+}
+
+// Tick advances the shared system one cycle and returns the requests whose
+// responses reach their cores at cycle now.
+func (s *L2System) Tick(now uint64) []*Request {
+	// 1. Requests arriving over the bus enter their bank queue.
+	for _, r := range s.req.Tick(now) {
+		s.banks[r.Bank].queue.push(bankOp{req: r})
+	}
+
+	// 2. Memory completions re-enter their bank for the line fill.
+	for s.memInFlight.len() > 0 && s.memInFlight.peek().doneAt <= now {
+		r := s.memInFlight.pop().req
+		s.banks[r.Bank].queue.push(bankOp{req: r, fill: true})
+	}
+
+	// 3. Banks: finish the in-service operation, then start the next.
+	for b := range s.banks {
+		bank := &s.banks[b]
+		if bank.busy && bank.doneAt <= now {
+			bank.busy = false
+			op := bank.current
+			switch {
+			case op.fill:
+				s.l2.Fill(op.req.Addr)
+				s.counters.Inc("l2.fills", 1)
+				s.resp.Push(now, op.req)
+			default:
+				if s.l2.Access(op.req.Addr) {
+					op.req.L2Hit = true
+					s.counters.Inc("l2.hits", 1)
+					s.resp.Push(now, op.req)
+				} else {
+					s.counters.Inc("l2.misses", 1)
+					s.missDetected = append(s.missDetected, op.req)
+					s.memPending.push(op.req)
+				}
+			}
+		}
+		if !bank.busy && bank.queue.len() > 0 {
+			bank.current = bank.queue.pop()
+			bank.busy = true
+			occ := s.cfg.Mem.L2.Latency
+			if bank.current.fill && s.cfg.Mem.L2FillOccupancy > 0 {
+				occ = s.cfg.Mem.L2FillOccupancy
+			}
+			bank.doneAt = now + uint64(occ)
+			s.counters.Inc("l2.bank_ops", 1)
+		}
+	}
+
+	// 4. Main memory begins a bounded number of new services.
+	for i := 0; i < s.memStarts && s.memPending.len() > 0; i++ {
+		r := s.memPending.pop()
+		s.memInFlight.push(timedReq{req: r, doneAt: now + uint64(s.cfg.Mem.MainMemoryLatency)})
+		s.counters.Inc("mem.reads", 1)
+	}
+
+	// 5. Responses arriving at the cores.
+	done := s.resp.Tick(now)
+	for _, r := range done {
+		r.CompletedAt = now
+		if r.IsInstr || r.NoWake {
+			continue // Figure 4 measures demand loads only
+		}
+		lat := int(now - r.IssuedAt)
+		if r.L2Hit {
+			s.hitLatency.Add(lat)
+		} else {
+			s.missLatency.Add(lat)
+		}
+	}
+	return done
+}
+
+// DrainMissDetected returns and clears the requests whose L2 tag check
+// reported a miss since the last call. Cores forward these to
+// non-speculative flush policies.
+func (s *L2System) DrainMissDetected() []*Request {
+	out := s.missDetected
+	s.missDetected = nil
+	return out
+}
+
+// Drain reports whether any transaction is still in flight.
+func (s *L2System) Drain() bool {
+	if s.req.Pending() > 0 || s.resp.Pending() > 0 ||
+		s.memPending.len() > 0 || s.memInFlight.len() > 0 {
+		return true
+	}
+	for b := range s.banks {
+		if s.banks[b].busy || s.banks[b].queue.len() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// ResetStats discards accumulated measurements (histograms and counters)
+// while preserving cache and queue state — used to exclude warm-up from
+// reported results.
+func (s *L2System) ResetStats() {
+	s.hitLatency = stats.NewHistogram(latencyHistBound)
+	s.missLatency = stats.NewHistogram(latencyHistBound)
+	s.counters = stats.Set{}
+}
+
+// HitLatency returns the histogram of load-issue-to-service latencies for
+// accesses that hit in L2 (the paper's Figure 4 metric).
+func (s *L2System) HitLatency() *stats.Histogram { return s.hitLatency }
+
+// MissLatency returns the latency histogram for L2 misses.
+func (s *L2System) MissLatency() *stats.Histogram { return s.missLatency }
+
+// Counters exposes the event counters (l2.requests, l2.hits, ...).
+func (s *L2System) Counters() *stats.Set { return &s.counters }
+
+// Cache exposes the underlying tag store (used by tests and by warm-up
+// helpers).
+func (s *L2System) Cache() *cache.Cache { return s.l2 }
+
+// MinHitLatency returns the no-contention request latency through the
+// system measured from submission: bus + bank + bus.
+func (s *L2System) MinHitLatency() int {
+	return 2*s.cfg.Mem.BusDelay + s.cfg.Mem.L2.Latency
+}
+
+// Queue helpers: small typed FIFOs (avoiding interface boxing in the hot
+// path).
+
+type fifoOp struct {
+	buf  []bankOp
+	head int
+}
+
+func (f *fifoOp) len() int { return len(f.buf) - f.head }
+func (f *fifoOp) push(v bankOp) {
+	f.buf = append(f.buf, v)
+}
+func (f *fifoOp) pop() bankOp {
+	v := f.buf[f.head]
+	f.buf[f.head] = bankOp{}
+	f.head++
+	if f.head > 64 && f.head*2 > len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return v
+}
+
+type fifoReq struct {
+	buf  []*Request
+	head int
+}
+
+func (f *fifoReq) len() int { return len(f.buf) - f.head }
+func (f *fifoReq) push(v *Request) {
+	f.buf = append(f.buf, v)
+}
+func (f *fifoReq) pop() *Request {
+	v := f.buf[f.head]
+	f.buf[f.head] = nil
+	f.head++
+	if f.head > 64 && f.head*2 > len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return v
+}
+
+type timedReq struct {
+	req    *Request
+	doneAt uint64
+}
+
+type fifoTimed struct {
+	buf  []timedReq
+	head int
+}
+
+func (f *fifoTimed) len() int { return len(f.buf) - f.head }
+func (f *fifoTimed) peek() timedReq {
+	return f.buf[f.head]
+}
+func (f *fifoTimed) push(v timedReq) {
+	f.buf = append(f.buf, v)
+}
+func (f *fifoTimed) pop() timedReq {
+	v := f.buf[f.head]
+	f.buf[f.head] = timedReq{}
+	f.head++
+	if f.head > 64 && f.head*2 > len(f.buf) {
+		n := copy(f.buf, f.buf[f.head:])
+		f.buf = f.buf[:n]
+		f.head = 0
+	}
+	return v
+}

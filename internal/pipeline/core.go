@@ -1,0 +1,988 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/policy"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// frontQCapacity bounds the per-thread fetch buffer ahead of rename.
+const frontQCapacity = 32
+
+// mshrRetryDelay is the load replay delay when the MSHR file is full.
+const mshrRetryDelay = 4
+
+// wheelSize bounds the execution completion horizon (longest fixed
+// execution latency plus L1 hit time).
+const wheelSize = 64
+
+// Core is one SMT core.
+type Core struct {
+	ID  int
+	cfg *config.Config
+	pol policy.Policy
+
+	l2 *mem.L2System
+
+	threads []*thread
+
+	intQ, fpQ, lsQ *queue
+	// The rename pool is shared (PhysRegs minus per-thread architectural
+	// state) but each context is guaranteed RegReservePerThread
+	// registers: heldPRegs tracks per-thread usage against pregCap.
+	freePRegs int
+	heldPRegs []int
+	pregCap   int
+
+	pred *branch.Predictor
+	l1i  *cache.Cache
+	l1d  *cache.Cache
+	itlb *cache.TLB
+	dtlb *cache.TLB
+	mshr *cache.MSHR
+	// mshrWaiters maps an outstanding line address to the loads blocked
+	// on it (primary + merged).
+	mshrWaiters map[uint64][]*UOp
+	// reqLoad maps in-flight load requests to their policy descriptors
+	// so L2 miss-detection signals can be routed.
+	lineLoads map[uint64][]*policy.LoadInfo
+
+	wheel [wheelSize][]*UOp
+
+	// pendingSubmits delays L2 requests by the L1 tag-check time, so the
+	// minimum load-issue-to-L2-hit latency matches the configured L1
+	// miss latency (paper: 22 cycles).
+	pendingSubmits []delayedSubmit
+
+	energy energy.Account
+	stats  stats.Set
+
+	pageBits uint
+}
+
+type delayedSubmit struct {
+	req *mem.Request
+	at  uint64
+}
+
+type thread struct {
+	id  int
+	src trace.Source
+	bb  *trace.BBDict
+
+	// pending holds the next correct-path instruction peeked from the
+	// source but not yet consumed by fetch.
+	pending    isa.Inst
+	hasPending bool
+	// replay holds squashed correct-path instructions awaiting refetch,
+	// in program order.
+	replay []isa.Inst
+
+	seq     uint64
+	icount  int
+	rob     *ring
+	frontQ  *ring
+	regProd [isa.NumArchRegs]*UOp
+
+	// Fetch blocking conditions.
+	fetchStallUntil   uint64
+	icacheWait        *mem.Request
+	pendingMispredict *UOp
+	wrongPath         bool
+	wpPC              uint64
+	lastFetchLine     uint64
+
+	// Policy-driven state.
+	policyStalled bool
+	flushStalled  bool
+	flushLoad     *policy.LoadInfo
+
+	committed uint64
+	fetched   uint64
+}
+
+// New builds a core. sources supplies the correct-path stream per
+// hardware context; dataBases gives each context's address-space base for
+// wrong-path synthesis.
+func New(id int, cfg *config.Config, pol policy.Policy, l2 *mem.L2System,
+	sources []trace.Source, dataBases []uint64) *Core {
+	if len(sources) != cfg.Core.ThreadsPerCore || len(dataBases) != cfg.Core.ThreadsPerCore {
+		panic(fmt.Sprintf("pipeline: core %d needs %d sources/bases, got %d/%d",
+			id, cfg.Core.ThreadsPerCore, len(sources), len(dataBases)))
+	}
+	pageBits := uint(0)
+	for 1<<pageBits < cfg.Mem.PageBytes {
+		pageBits++
+	}
+	c := &Core{
+		ID:   id,
+		cfg:  cfg,
+		pol:  pol,
+		l2:   l2,
+		intQ: newQueue(cfg.Core.IntQueue),
+		fpQ:  newQueue(cfg.Core.FPQueue),
+		lsQ:  newQueue(cfg.Core.LSQueue),
+		pred: branch.New(cfg.Core.PerceptronCount, cfg.Core.PerceptronHistory,
+			cfg.Core.BTBEntries, cfg.Core.BTBAssoc, cfg.Core.RASEntries, cfg.Core.ThreadsPerCore),
+		l1i:         cache.New(cfg.Mem.L1I),
+		l1d:         cache.New(cfg.Mem.L1D),
+		itlb:        cache.NewTLB(cfg.Mem.TLBEntries),
+		dtlb:        cache.NewTLB(cfg.Mem.TLBEntries),
+		mshr:        cache.NewMSHR(cfg.Core.MSHREntries),
+		mshrWaiters: make(map[uint64][]*UOp),
+		lineLoads:   make(map[uint64][]*policy.LoadInfo),
+		pageBits:    pageBits,
+	}
+	c.freePRegs = cfg.Core.PhysRegs - cfg.Core.ThreadsPerCore*isa.NumArchRegs
+	c.heldPRegs = make([]int, cfg.Core.ThreadsPerCore)
+	c.pregCap = c.freePRegs - cfg.Core.RegReservePerThread*(cfg.Core.ThreadsPerCore-1)
+	if c.pregCap < 1 {
+		c.pregCap = 1
+	}
+	for t := 0; t < cfg.Core.ThreadsPerCore; t++ {
+		c.threads = append(c.threads, &thread{
+			id:  t,
+			src: sources[t],
+			// Wrong-path pollution stays within a few pages of the
+			// thread's own space: wrong paths re-execute nearby code on
+			// stale pointers, they do not wander the whole heap (and a
+			// wider span would thrash the TLB unrealistically).
+			bb:     trace.NewBBDict(dataBases[t]+1<<30, 2*uint64(cfg.Mem.PageBytes)),
+			rob:    newRing(cfg.Core.ROBPerThread),
+			frontQ: newRing(frontQCapacity),
+		})
+	}
+	return c
+}
+
+// Policy returns the core's IFetch policy.
+func (c *Core) Policy() policy.Policy { return c.pol }
+
+// Energy returns the core's energy account.
+func (c *Core) Energy() *energy.Account { return &c.energy }
+
+// Stats returns the core's event counters.
+func (c *Core) Stats() *stats.Set { return &c.stats }
+
+// Committed returns per-thread committed instruction counts.
+func (c *Core) Committed() []uint64 {
+	out := make([]uint64, len(c.threads))
+	for i, t := range c.threads {
+		out[i] = t.committed
+	}
+	return out
+}
+
+// lineOf returns the cache line address (64B lines throughout).
+func (c *Core) lineOf(addr uint64) uint64 { return addr >> 6 }
+
+// HandleResponse consumes one shared-L2 response addressed to this core.
+func (c *Core) HandleResponse(r *mem.Request, now uint64) {
+	switch {
+	case r.IsInstr:
+		c.l1i.Fill(r.Addr)
+		for _, t := range c.threads {
+			if t.icacheWait == r {
+				t.icacheWait = nil
+			}
+		}
+	case r.NoWake:
+		c.l1d.Fill(r.Addr)
+	default:
+		c.l1d.Fill(r.Addr)
+		line := c.lineOf(r.Addr)
+		waiters := c.mshrWaiters[line]
+		delete(c.mshrWaiters, line)
+		delete(c.lineLoads, line)
+		c.mshr.Free(line)
+		for _, u := range waiters {
+			if u.Squashed {
+				continue
+			}
+			u.WaitingMem = false
+			c.markExecuted(u, now)
+			if li := u.Load; li != nil {
+				li.Resolved = true
+				li.ResolvedAt = now
+				li.L2Hit = r.L2Hit
+				c.pol.OnResolve(li, now)
+				t := c.threads[u.Tid]
+				if t.flushStalled && t.flushLoad == li {
+					t.flushStalled = false
+					t.flushLoad = nil
+					if r.L2Hit {
+						c.stats.Inc("flush.resolved_hit", 1) // false miss
+					} else {
+						c.stats.Inc("flush.resolved_miss", 1)
+					}
+				}
+			}
+		}
+	}
+}
+
+// HandleL2MissDetected forwards the non-speculative miss signal to the
+// policy for every load waiting on the missing line.
+func (c *Core) HandleL2MissDetected(r *mem.Request, now uint64) {
+	if r.IsInstr || r.NoWake {
+		return
+	}
+	for _, li := range c.lineLoads[c.lineOf(r.Addr)] {
+		if !li.Resolved {
+			c.pol.OnL2MissDetected(li, now)
+		}
+	}
+}
+
+// submitDelayed schedules an L2 request for submission after the L1
+// tag-check time has elapsed.
+func (c *Core) submitDelayed(req *mem.Request, now uint64) {
+	c.pendingSubmits = append(c.pendingSubmits, delayedSubmit{req: req, at: now + uint64(c.cfg.L1Latency)})
+}
+
+func (c *Core) flushSubmits(now uint64) {
+	kept := c.pendingSubmits[:0]
+	for _, d := range c.pendingSubmits {
+		if d.at <= now {
+			c.l2.Submit(d.req, now)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	c.pendingSubmits = kept
+}
+
+// Tick advances the core one cycle. Stages run in reverse pipeline order
+// so a result produced this cycle is consumed no earlier than the next.
+func (c *Core) Tick(now uint64) {
+	c.flushSubmits(now)
+	c.commitStage(now)
+	c.writebackStage(now)
+	c.issueStage(now)
+	c.renameStage(now)
+	c.policyStage(now)
+	c.fetchStage(now)
+}
+
+// ---- commit ----
+
+func (c *Core) commitStage(now uint64) {
+	budget := c.cfg.Core.CommitWidth
+	n := len(c.threads)
+	start := int(now) % n
+	for i := 0; i < n && budget > 0; i++ {
+		t := c.threads[(start+i)%n]
+		for budget > 0 {
+			u := t.rob.front()
+			if u == nil {
+				break
+			}
+			if !u.Executed {
+				switch {
+				case u.WaitingMem:
+					c.stats.Inc("commit.blocked.mem", 1)
+				case u.InQueue:
+					c.stats.Inc("commit.blocked.queued", 1)
+				case !u.Issued:
+					c.stats.Inc("commit.blocked.frontend", 1)
+				default:
+					c.stats.Inc("commit.blocked.exec", 1)
+				}
+				break
+			}
+			t.rob.popFront()
+			if u.HasPReg {
+				c.freePRegs++
+				c.heldPRegs[u.Tid]--
+				u.HasPReg = false
+			}
+			u.Committed = true
+			t.committed++
+			budget--
+			c.energy.OnCommit()
+			if u.Inst.Class == isa.ClassStore {
+				c.commitStore(u, now)
+			}
+		}
+	}
+}
+
+// commitStore performs the store's cache write at retirement; misses
+// generate fire-and-forget fill traffic through the shared system.
+func (c *Core) commitStore(u *UOp, now uint64) {
+	if c.l1d.Access(u.Inst.Addr) {
+		c.stats.Inc("l1d.store_hits", 1)
+		return
+	}
+	c.stats.Inc("l1d.store_misses", 1)
+	c.submitDelayed(&mem.Request{
+		CoreID:   c.ID,
+		ThreadID: u.Tid,
+		Addr:     u.Inst.Addr,
+		NoWake:   true,
+		IssuedAt: now,
+	}, now)
+}
+
+// ---- writeback ----
+
+func (c *Core) writebackStage(now uint64) {
+	slot := int(now % wheelSize)
+	uops := c.wheel[slot]
+	c.wheel[slot] = uops[:0]
+	for _, u := range uops {
+		if u.Squashed {
+			continue
+		}
+		c.markExecuted(u, now)
+		if u.Inst.Class.IsControl() {
+			c.resolveControl(u, now)
+		}
+	}
+}
+
+// markExecuted completes a uop: the result is produced and dependents may
+// issue from the next cycle. The physical register is held to commit.
+func (c *Core) markExecuted(u *UOp, now uint64) {
+	u.Executed = true
+	u.DoneAt = now
+}
+
+func (c *Core) resolveControl(u *UOp, now uint64) {
+	t := c.threads[u.Tid]
+	if u.WrongPath {
+		return // wrong-path control never trains or redirects
+	}
+	c.pred.Resolve(&u.Inst)
+	if u.Inst.Class == isa.ClassBranch {
+		c.stats.Inc("branches", 1)
+	}
+	if u.MispredictedBranch {
+		c.stats.Inc("mispredicts", 1)
+		c.squashYounger(t, u.Seq, false, now)
+		if t.pendingMispredict == u {
+			t.pendingMispredict = nil
+			t.wrongPath = false
+		}
+		// Redirect: one dead cycle before fetch resumes on the correct
+		// path (the front-end depth models the refill). A pending
+		// wrong-path icache fill no longer gates fetch — the redirect
+		// abandons it (the fill itself still completes).
+		if t.fetchStallUntil < now+1 {
+			t.fetchStallUntil = now + 1
+		}
+		t.icacheWait = nil
+		t.lastFetchLine = 0
+	}
+}
+
+// ---- issue ----
+
+func (c *Core) issueStage(now uint64) {
+	intUnits := c.cfg.Core.IntUnits
+	fpUnits := c.cfg.Core.FPUnits
+	lsUnits := c.cfg.Core.LSUnits
+
+	c.intQ.scan(func(u *UOp) bool {
+		if intUnits == 0 {
+			return false
+		}
+		if c.ready(u, now) {
+			intUnits--
+			c.issueALU(u, now)
+		}
+		return true
+	})
+	c.fpQ.scan(func(u *UOp) bool {
+		if fpUnits == 0 {
+			return false
+		}
+		if c.ready(u, now) {
+			fpUnits--
+			c.issueALU(u, now)
+		}
+		return true
+	})
+	c.lsQ.scan(func(u *UOp) bool {
+		if lsUnits == 0 {
+			return false
+		}
+		if c.ready(u, now) {
+			lsUnits--
+			c.issueMem(u, now)
+		}
+		return true
+	})
+}
+
+func (c *Core) ready(u *UOp, now uint64) bool {
+	if u.RetryAt > now {
+		return false
+	}
+	if p := u.Src1Prod; p != nil && !p.Executed {
+		return false
+	}
+	if p := u.Src2Prod; p != nil && !p.Executed {
+		return false
+	}
+	return true
+}
+
+func (c *Core) issueALU(u *UOp, now uint64) {
+	q := c.intQ
+	if u.Inst.Class.UsesFP() {
+		q = c.fpQ
+	}
+	q.remove(u)
+	c.threads[u.Tid].icount--
+	u.Issued = true
+	u.IssuedAt = now
+	c.schedule(u, now+uint64(u.Inst.Class.ExecLatency()))
+}
+
+func (c *Core) schedule(u *UOp, at uint64) {
+	c.wheel[int(at%wheelSize)] = append(c.wheel[int(at%wheelSize)], u)
+}
+
+func (c *Core) issueMem(u *UOp, now uint64) {
+	// Address translation first; a TLB walk delays the access.
+	if !u.TLBDone {
+		u.TLBDone = true
+		if !c.dtlb.Access(u.Inst.Addr >> c.pageBits) {
+			u.TLBMissed = true
+			u.RetryAt = now + uint64(c.cfg.Mem.TLBMissLatency)
+			c.stats.Inc("dtlb.misses", 1)
+			return // stays in the queue, retries after the walk
+		}
+	}
+
+	if u.Inst.Class == isa.ClassStore {
+		// Stores complete at address generation; the cache write
+		// happens at commit.
+		c.lsQ.remove(u)
+		c.threads[u.Tid].icount--
+		u.Issued = true
+		u.IssuedAt = now
+		c.schedule(u, now+1)
+		return
+	}
+
+	if c.l1d.Access(u.Inst.Addr) {
+		c.stats.Inc("l1d.load_hits", 1)
+		c.lsQ.remove(u)
+		c.threads[u.Tid].icount--
+		u.Issued = true
+		u.IssuedAt = now
+		c.schedule(u, now+uint64(c.cfg.L1Latency))
+		return
+	}
+
+	// L1 miss: take an MSHR (or merge) and wait for the shared system.
+	line := c.lineOf(u.Inst.Addr)
+	entry, merged, ok := c.mshr.Allocate(line)
+	if !ok {
+		u.RetryAt = now + mshrRetryDelay
+		c.stats.Inc("mshr.full_retries", 1)
+		return
+	}
+	_ = entry
+	c.stats.Inc("l1d.load_misses", 1)
+	c.lsQ.remove(u)
+	c.threads[u.Tid].icount--
+	u.Issued = true
+	u.IssuedAt = now
+	u.WaitingMem = true
+	c.mshrWaiters[line] = append(c.mshrWaiters[line], u)
+
+	if !merged {
+		req := &mem.Request{
+			CoreID:   c.ID,
+			ThreadID: u.Tid,
+			Addr:     u.Inst.Addr,
+			IssuedAt: now,
+		}
+		u.Req = req
+		c.submitDelayed(req, now)
+	} else {
+		c.stats.Inc("mshr.merges", 1)
+	}
+
+	if !u.WrongPath {
+		li := &policy.LoadInfo{
+			Tid:      u.Tid,
+			Seq:      u.Seq,
+			IssuedAt: now,
+			Bank:     c.l2.BankOf(u.Inst.Addr),
+			TLBMiss:  u.TLBMissed,
+			Owner:    u,
+		}
+		u.Load = li
+		c.lineLoads[line] = append(c.lineLoads[line], li)
+		c.pol.OnL1Miss(li, now)
+	}
+}
+
+// ---- rename ----
+
+func (c *Core) renameStage(now uint64) {
+	budget := c.cfg.Core.RenameWidth
+	n := len(c.threads)
+	start := int(now) % n
+	blocked := make([]bool, n)
+	for budget > 0 {
+		progressed := false
+		for i := 0; i < n && budget > 0; i++ {
+			idx := (start + i) % n
+			if blocked[idx] {
+				continue
+			}
+			t := c.threads[idx]
+			u := t.frontQ.front()
+			if u == nil || u.RenameReadyAt > now {
+				blocked[idx] = true
+				continue
+			}
+			if !c.tryRename(t, u) {
+				blocked[idx] = true
+				continue
+			}
+			t.frontQ.popFront()
+			budget--
+			progressed = true
+		}
+		if !progressed {
+			return
+		}
+	}
+}
+
+func (c *Core) queueFor(class isa.Class) *queue {
+	switch {
+	case class.UsesFP():
+		return c.fpQ
+	case class.IsMem():
+		return c.lsQ
+	default:
+		return c.intQ
+	}
+}
+
+func (c *Core) tryRename(t *thread, u *UOp) bool {
+	q := c.queueFor(u.Inst.Class)
+	if !q.hasSpace() {
+		c.stats.Inc("rename.blocked.queue", 1)
+		return false
+	}
+	if t.rob.full() {
+		c.stats.Inc("rename.blocked.rob", 1)
+		return false
+	}
+	needsReg := u.Inst.HasDest()
+	if needsReg && (c.freePRegs == 0 || c.heldPRegs[t.id] >= c.pregCap) {
+		c.stats.Inc("rename.blocked.regs", 1)
+		return false
+	}
+	if s := u.Inst.Src1; s != isa.InvalidReg {
+		u.Src1Prod = t.regProd[s]
+	}
+	if s := u.Inst.Src2; s != isa.InvalidReg {
+		u.Src2Prod = t.regProd[s]
+	}
+	if needsReg {
+		c.freePRegs--
+		c.heldPRegs[t.id]++
+		u.HasPReg = true
+		u.PrevProd = t.regProd[u.Inst.Dest]
+		t.regProd[u.Inst.Dest] = u
+	}
+	q.insert(u)
+	t.rob.push(u)
+	return true
+}
+
+// ---- policy ----
+
+func (c *Core) policyStage(now uint64) {
+	for _, d := range c.pol.Tick(now) {
+		t := c.threads[d.Tid]
+		switch d.Action {
+		case policy.ActNone:
+			t.policyStalled = false
+		case policy.ActStall:
+			if !t.flushStalled {
+				t.policyStalled = true
+				c.stats.Inc("policy.stall_cycles", 1)
+			}
+		case policy.ActFlush:
+			if t.flushStalled || d.Load == nil || d.Load.Resolved {
+				break
+			}
+			c.doFlush(t, d.Load, now)
+		}
+	}
+}
+
+// doFlush applies the FLUSH response action: squash everything younger
+// than the offending load and fetch-stall the thread until it resolves.
+func (c *Core) doFlush(t *thread, li *policy.LoadInfo, now uint64) {
+	c.stats.Inc("policy.flushes", 1)
+	c.squashYounger(t, li.Seq, true, now)
+	t.flushStalled = true
+	t.flushLoad = li
+	t.policyStalled = false
+	t.icacheWait = nil // the flush abandons any in-flight fetch fill
+	t.lastFetchLine = 0
+}
+
+// ---- squash ----
+
+// squashYounger removes every uop of t younger than afterSeq. forFlush
+// selects the energy attribution (FLUSH waste vs wrong-path) and whether
+// correct-path instructions are captured for replay.
+func (c *Core) squashYounger(t *thread, afterSeq uint64, forFlush bool, now uint64) {
+	var replayTmp []isa.Inst
+
+	// Front-end queue, youngest first.
+	for t.frontQ.len() > 0 && t.frontQ.back().Seq > afterSeq {
+		u := t.frontQ.popBack()
+		c.undoUop(t, u, forFlush, &replayTmp, now)
+	}
+	// ROB tail, youngest first.
+	for t.rob.len() > 0 && t.rob.back().Seq > afterSeq {
+		u := t.rob.popBack()
+		c.undoUop(t, u, forFlush, &replayTmp, now)
+	}
+
+	if len(replayTmp) > 0 {
+		// replayTmp is youngest-first; reverse into program order and
+		// prepend to the existing replay queue.
+		for i, j := 0, len(replayTmp)-1; i < j; i, j = i+1, j-1 {
+			replayTmp[i], replayTmp[j] = replayTmp[j], replayTmp[i]
+		}
+		t.replay = append(replayTmp, t.replay...)
+	}
+}
+
+func (c *Core) undoUop(t *thread, u *UOp, forFlush bool, replay *[]isa.Inst, now uint64) {
+	if u.Squashed {
+		return
+	}
+	u.Squashed = true
+
+	// Energy attribution happens before state is torn down so the stage
+	// classification sees the uop as it was.
+	if forFlush && !u.WrongPath {
+		c.energy.OnFlushed(u.StageAt(now, c.cfg.Core.FrontEndStages))
+	} else {
+		c.energy.OnWrongPath(u.StageAt(now, c.cfg.Core.FrontEndStages))
+	}
+
+	if u.InQueue {
+		c.queueFor(u.Inst.Class).remove(u)
+		t.icount--
+	} else if !u.Issued {
+		// Still in the front-end.
+		t.icount--
+	}
+	if u.HasPReg {
+		c.freePRegs++
+		c.heldPRegs[u.Tid]--
+		u.HasPReg = false
+	}
+	if u.Inst.HasDest() && t.regProd[u.Inst.Dest] == u {
+		t.regProd[u.Inst.Dest] = u.PrevProd
+	}
+	if li := u.Load; li != nil && !li.Resolved {
+		c.pol.OnSquash(li)
+		li.Resolved = true // stop any further policy notifications
+	}
+	if u == t.pendingMispredict {
+		t.pendingMispredict = nil
+		t.wrongPath = false
+	}
+	if u.Inst.Class.IsControl() && !u.WrongPath {
+		c.pred.RAS[t.id].Restore(u.RASTop, u.RASDepth)
+	}
+	if forFlush && !u.WrongPath {
+		*replay = append(*replay, u.Inst)
+	}
+}
+
+// ---- fetch ----
+
+func (c *Core) fetchStage(now uint64) {
+	// ICOUNT ordering: fetchable threads by ascending in-flight count.
+	order := make([]int, 0, len(c.threads))
+	for i := range c.threads {
+		order = append(order, i)
+	}
+	for i := 1; i < len(order); i++ { // insertion sort: tiny n, stable
+		for j := i; j > 0; j-- {
+			a, b := c.threads[order[j-1]], c.threads[order[j]]
+			if a.icount > b.icount || (a.icount == b.icount && (now+uint64(order[j-1]))%2 == 1) {
+				order[j-1], order[j] = order[j], order[j-1]
+			} else {
+				break
+			}
+		}
+	}
+
+	width := c.cfg.Core.FetchWidth
+	threadsUsed := 0
+	for _, idx := range order {
+		if width == 0 || threadsUsed == c.cfg.Core.FetchThreads {
+			return
+		}
+		t := c.threads[idx]
+		if !c.canFetch(t, now) {
+			continue
+		}
+		n := c.fetchThread(t, now, width)
+		if n > 0 {
+			width -= n
+			threadsUsed++
+		}
+	}
+}
+
+func (c *Core) canFetch(t *thread, now uint64) bool {
+	switch {
+	case t.icacheWait != nil:
+		c.stats.Inc("fetch.blocked.icache", 1)
+		return false
+	case t.fetchStallUntil > now:
+		c.stats.Inc("fetch.blocked.stall", 1)
+		return false
+	case t.policyStalled:
+		c.stats.Inc("fetch.blocked.policy", 1)
+		return false
+	case t.flushStalled:
+		c.stats.Inc("fetch.blocked.flush", 1)
+		return false
+	case t.frontQ.full():
+		c.stats.Inc("fetch.blocked.frontq", 1)
+		return false
+	}
+	return true
+}
+
+// peekInst returns the next instruction to fetch without consuming it.
+func (t *thread) peekInst() *isa.Inst {
+	if t.wrongPath {
+		t.bb.InstAt(t.wpPC, &t.pending)
+		return &t.pending
+	}
+	if len(t.replay) > 0 {
+		return &t.replay[0]
+	}
+	if !t.hasPending {
+		t.src.Next(&t.pending)
+		t.hasPending = true
+	}
+	return &t.pending
+}
+
+// consumeInst commits the peeked instruction.
+func (t *thread) consumeInst() {
+	if t.wrongPath {
+		t.wpPC += 4
+		return
+	}
+	if len(t.replay) > 0 {
+		t.replay = t.replay[1:]
+		return
+	}
+	t.hasPending = false
+}
+
+func (c *Core) fetchThread(t *thread, now uint64, max int) int {
+	fetched := 0
+	for fetched < max && !t.frontQ.full() {
+		in := t.peekInst()
+
+		// Instruction cache: one access per new line.
+		line := in.PC >> 6
+		if line != t.lastFetchLine {
+			if !c.itlb.Access(in.PC >> c.pageBits) {
+				c.stats.Inc("itlb.misses", 1)
+				t.fetchStallUntil = now + uint64(c.cfg.Mem.TLBMissLatency)
+				return fetched
+			}
+			if !c.l1i.Access(in.PC) {
+				c.stats.Inc("l1i.misses", 1)
+				req := &mem.Request{
+					CoreID:   c.ID,
+					ThreadID: t.id,
+					Addr:     in.PC,
+					IsInstr:  true,
+					IssuedAt: now,
+				}
+				t.icacheWait = req
+				c.submitDelayed(req, now)
+				return fetched
+			}
+			c.stats.Inc("l1i.hits", 1)
+			t.lastFetchLine = line
+		}
+
+		u := &UOp{
+			Inst:          *in,
+			Tid:           t.id,
+			WrongPath:     t.wrongPath,
+			FetchedAt:     now,
+			RenameReadyAt: now + uint64(c.cfg.Core.FrontEndStages),
+		}
+		t.consumeInst()
+		t.seq++
+		u.Seq = t.seq
+		t.frontQ.push(u)
+		t.icount++
+		t.fetched++
+		fetched++
+
+		if !u.Inst.Class.IsControl() {
+			continue
+		}
+		if u.WrongPath {
+			// Wrong-path control: synthesised as fall-through; keep
+			// fetching inline.
+			continue
+		}
+		stop := c.predictControl(t, u, now)
+		if stop {
+			return fetched
+		}
+	}
+	return fetched
+}
+
+// predictControl runs the front-end predictor for a fetched control
+// instruction, arranging wrong-path fetch as needed. It reports whether
+// the fetch group must end.
+func (c *Core) predictControl(t *thread, u *UOp, now uint64) bool {
+	u.RASTop, u.RASDepth = c.pred.RAS[t.id].Snapshot()
+	pr := c.pred.Predict(t.id, &u.Inst)
+	// A taken prediction without a target cannot redirect the front
+	// end: the effective prediction is fall-through (real front ends
+	// behave this way on BTB misses).
+	if pr.Taken && pr.Target == 0 {
+		pr.Taken = false
+	}
+	actual := &u.Inst
+
+	if pr.Taken == actual.Taken && (!actual.Taken || pr.Target == actual.Target) {
+		// Correct prediction. A taken branch ends the fetch group.
+		if actual.Taken {
+			t.lastFetchLine = 0 // next fetch starts at the target line
+			return true
+		}
+		return false
+	}
+	// Mispredicted: fetch proceeds down the wrong path until the branch
+	// resolves.
+	u.MispredictedBranch = true
+	t.pendingMispredict = u
+	t.wrongPath = true
+	if pr.Taken {
+		t.wpPC = pr.Target
+	} else {
+		t.wpPC = actual.PC + 4
+	}
+	t.lastFetchLine = 0
+	return true
+}
+
+// ---- invariant checks (used by tests) ----
+
+// CheckInvariants validates resource conservation; it returns an error
+// describing the first violation.
+func (c *Core) CheckInvariants() error {
+	pool := c.cfg.Core.PhysRegs - c.cfg.Core.ThreadsPerCore*isa.NumArchRegs
+	totalHeld := 0
+	for tid, t := range c.threads {
+		held := 0
+		for i := 0; i < t.rob.len(); i++ {
+			if t.rob.at(i).HasPReg {
+				held++
+			}
+		}
+		for i := 0; i < t.frontQ.len(); i++ {
+			if t.frontQ.at(i).HasPReg {
+				return fmt.Errorf("pipeline: front-end uop holds a register")
+			}
+		}
+		if held != c.heldPRegs[tid] {
+			return fmt.Errorf("pipeline: thread %d held-register count drifted: counted=%d tracked=%d",
+				tid, held, c.heldPRegs[tid])
+		}
+		if held > c.pregCap {
+			return fmt.Errorf("pipeline: thread %d exceeds register cap: %d > %d", tid, held, c.pregCap)
+		}
+		totalHeld += held
+	}
+	if c.freePRegs+totalHeld != pool {
+		return fmt.Errorf("pipeline: register leak: free=%d held=%d pool=%d",
+			c.freePRegs, totalHeld, pool)
+	}
+	for _, q := range []*queue{c.intQ, c.fpQ, c.lsQ} {
+		n := 0
+		q.scan(func(u *UOp) bool {
+			if u.Squashed {
+				n++ // squashed uop left in a queue
+			}
+			return true
+		})
+		if n > 0 {
+			return fmt.Errorf("pipeline: %d squashed uops resident in an issue queue", n)
+		}
+	}
+	if c.mshr.InUse() != len(c.mshrWaiters) {
+		return fmt.Errorf("pipeline: MSHR in use %d != waiter lines %d",
+			c.mshr.InUse(), len(c.mshrWaiters))
+	}
+	return nil
+}
+
+// ResetMeasurement zeroes the core's accumulated statistics (energy,
+// counters, per-thread commit/fetch counts) without touching
+// microarchitectural state. Used to exclude warm-up cycles.
+func (c *Core) ResetMeasurement() {
+	c.energy = energy.Account{}
+	c.stats = stats.Set{}
+	for _, t := range c.threads {
+		t.committed = 0
+		t.fetched = 0
+	}
+}
+
+// ThreadInfo is a per-thread progress snapshot for reports and tests.
+type ThreadInfo struct {
+	Committed uint64
+	Fetched   uint64
+	ICount    int
+	Flushed   bool
+	Stalled   bool
+}
+
+// Threads returns per-thread snapshots.
+func (c *Core) Threads() []ThreadInfo {
+	out := make([]ThreadInfo, len(c.threads))
+	for i, t := range c.threads {
+		out[i] = ThreadInfo{
+			Committed: t.committed,
+			Fetched:   t.fetched,
+			ICount:    t.icount,
+			Flushed:   t.flushStalled,
+			Stalled:   t.policyStalled,
+		}
+	}
+	return out
+}

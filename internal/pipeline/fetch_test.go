@@ -1,0 +1,184 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/isa"
+	"repro/internal/policy"
+)
+
+// missyFPSource stalls in the FP queue: loads plus FP work dependent on
+// them. Its queue pressure lands in fpQ, leaving the int queue to the
+// partner, so ICOUNT's fetch preference is observable in isolation.
+func missyFPSource(stride int) funcSource {
+	pcs := &loopPC{base: 0x1000, span: 128}
+	i := 0
+	addr := uint64(0x400000000)
+	return func(out *isa.Inst) {
+		i++
+		if i%16 == 1 {
+			addr += uint64(stride)
+			*out = isa.Inst{PC: pcs.next(), Class: isa.ClassLoad, Dest: 1,
+				Src1: isa.InvalidReg, Src2: isa.InvalidReg, Addr: addr}
+			return
+		}
+		*out = isa.Inst{PC: pcs.next(), Class: isa.ClassFP, Dest: 1, Src1: 1, Src2: isa.InvalidReg}
+	}
+}
+
+// TestICountPriorityFavoursLowOccupancy: when the clogging thread's
+// waiting work sits in its own queue, the lean thread (low icount) must
+// receive far more fetch bandwidth.
+func TestICountPriorityFavoursLowOccupancy(t *testing.T) {
+	h := newHarness(t, 2, policy.NewICOUNT(), missyFPSource(1<<16), aluSource())
+	h.warm(t, 6000)
+	h.run(t, 8000)
+	ti := h.core.Threads()
+	if ti[1].Fetched < ti[0].Fetched*2 {
+		t.Fatalf("lean thread fetched %d vs clogging thread %d; ICOUNT priority too weak",
+			ti[1].Fetched, ti[0].Fetched)
+	}
+}
+
+// TestPolicyStallGatesFetchOnly: a policy-stalled thread stops fetching
+// but keeps executing and committing what it already has (the Preventive
+// State semantics MFLUSH relies on).
+func TestPolicyStallGatesFetchOnly(t *testing.T) {
+	cfg := config.Default(1)
+	h := newHarness(t, 2, policy.NewStall(cfg.Core.ThreadsPerCore, 25),
+		missyLoadSource(1<<16), aluSource())
+	h.warm(t, 6000)
+
+	before := h.core.Threads()[0]
+	h.run(t, 4000)
+	after := h.core.Threads()[0]
+	if h.core.Stats().Get("policy.stall_cycles") == 0 {
+		t.Fatal("stall policy never engaged")
+	}
+	if after.Committed <= before.Committed {
+		t.Fatal("stalled thread stopped committing entirely; stall must not squash")
+	}
+}
+
+// TestCommitStoreTraffic: committed stores that miss the L1D generate
+// shared-L2 traffic, and store hits do not.
+func TestCommitStoreTraffic(t *testing.T) {
+	pcs := &loopPC{base: 0x1000, span: 128}
+	i := 0
+	src := funcSource(func(out *isa.Inst) {
+		i++
+		if i%4 == 0 {
+			// Stores marching through a large region: mostly misses.
+			*out = isa.Inst{PC: pcs.next(), Class: isa.ClassStore,
+				Dest: isa.InvalidReg, Src1: 1, Src2: isa.InvalidReg,
+				Addr: 0x400000000 + uint64(i)*64}
+			return
+		}
+		*out = isa.Inst{PC: pcs.next(), Class: isa.ClassInt,
+			Dest: isa.Reg(1 + i%8), Src1: isa.InvalidReg, Src2: isa.InvalidReg}
+	})
+	h := newHarness(t, 1, nil, src)
+	h.warm(t, 6000)
+	h.run(t, 4000)
+	st := h.core.Stats()
+	if st.Get("l1d.store_misses") == 0 {
+		t.Fatal("marching stores never missed")
+	}
+	if h.l2.Counters().Get("l2.requests") == 0 {
+		t.Fatal("store misses generated no L2 traffic")
+	}
+}
+
+// TestDTLBWalkDelaysLoad: a load to a fresh page pays the 300-cycle walk
+// before its cache access.
+func TestDTLBWalkDelaysLoad(t *testing.T) {
+	pcs := &loopPC{base: 0x1000, span: 128}
+	i := 0
+	page := uint64(0)
+	src := funcSource(func(out *isa.Inst) {
+		i++
+		if i%64 == 0 {
+			page++
+			*out = isa.Inst{PC: pcs.next(), Class: isa.ClassLoad,
+				Dest: 1, Src1: isa.InvalidReg, Src2: isa.InvalidReg,
+				Addr: 0x400000000 + page*8192}
+			return
+		}
+		*out = isa.Inst{PC: pcs.next(), Class: isa.ClassInt,
+			Dest: isa.Reg(2 + i%8), Src1: isa.InvalidReg, Src2: isa.InvalidReg}
+	})
+	h := newHarness(t, 1, nil, src)
+	h.warm(t, 6000)
+	h.run(t, 6000)
+	if h.core.Stats().Get("dtlb.misses") == 0 {
+		t.Fatal("page-marching loads never missed the DTLB")
+	}
+}
+
+// TestMSHRMergeOnSameLine: two loads to one missing line share a single
+// L2 request.
+func TestMSHRMergeOnSameLine(t *testing.T) {
+	pcs := &loopPC{base: 0x1000, span: 128}
+	i := 0
+	line := uint64(0)
+	src := funcSource(func(out *isa.Inst) {
+		i++
+		switch i % 8 {
+		case 0, 1:
+			// Pairs of loads to the same fresh line, back to back.
+			if i%8 == 0 {
+				line++
+			}
+			*out = isa.Inst{PC: pcs.next(), Class: isa.ClassLoad,
+				Dest: isa.Reg(1 + i%2), Src1: isa.InvalidReg, Src2: isa.InvalidReg,
+				Addr: 0x400000000 + line*64}
+		default:
+			*out = isa.Inst{PC: pcs.next(), Class: isa.ClassInt,
+				Dest: isa.Reg(3 + i%8), Src1: isa.InvalidReg, Src2: isa.InvalidReg}
+		}
+	})
+	h := newHarness(t, 1, nil, src)
+	h.warm(t, 6000)
+	h.run(t, 6000)
+	if h.core.Stats().Get("mshr.merges") == 0 {
+		t.Fatal("same-line load pairs never merged in the MSHR")
+	}
+}
+
+// TestFlushDirectiveIgnoredWhileFlushStalled: a second flush directive for
+// an already flush-stalled thread must not double-squash.
+func TestFlushDirectiveIgnoredWhileFlushStalled(t *testing.T) {
+	cfg := config.Default(1)
+	h := newHarness(t, 2, policy.NewFlushS(cfg.Core.ThreadsPerCore, 25),
+		missyLoadSource(1<<16), aluSource())
+	h.warm(t, 6000)
+	h.run(t, 6000)
+	flushes := h.core.Stats().Get("policy.flushes")
+	resolved := h.core.Stats().Get("flush.resolved_hit") + h.core.Stats().Get("flush.resolved_miss")
+	// Every flush eventually resolves exactly once; allow the last flush
+	// to still be in flight.
+	if flushes == 0 {
+		t.Fatal("no flushes")
+	}
+	if resolved > flushes || flushes-resolved > 1 {
+		t.Fatalf("flushes %d vs resolutions %d inconsistent", flushes, resolved)
+	}
+}
+
+// TestWrongPathNeverCommits: no wrong-path instruction may retire.
+// Committed counts must exactly equal correct-path fetches minus in-flight
+// and squashed-for-replay work, which we approximate by checking commits
+// do not exceed correct-path fetched.
+func TestWrongPathNeverCommits(t *testing.T) {
+	h := newHarness(t, 1, nil, newRandomSource(99, 1<<34))
+	h.warm(t, 6000)
+	h.run(t, 6000)
+	ti := h.core.Threads()[0]
+	if ti.Committed > ti.Fetched {
+		t.Fatalf("committed %d exceeds fetched %d", ti.Committed, ti.Fetched)
+	}
+	if h.core.Energy().WrongPathTotal() == 0 {
+		t.Fatal("random branches produced no wrong-path work")
+	}
+}

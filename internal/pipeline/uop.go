@@ -1,0 +1,221 @@
+// Package pipeline implements one out-of-order SMT core: an 11-stage
+// fetch/decode/rename/queue/issue/execute/writeback/commit pipeline with
+// shared issue queues and physical registers, per-thread reorder buffers,
+// wrong-path execution, and the flush machinery the IFetch policies drive.
+package pipeline
+
+import (
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/policy"
+)
+
+// UOp is one in-flight dynamic instruction.
+type UOp struct {
+	Inst isa.Inst
+	// Tid is the core-local hardware context.
+	Tid int
+	// Seq is the per-thread fetch order; squashes are "younger than".
+	Seq uint64
+	// WrongPath marks instructions fetched past an unresolved
+	// mispredicted branch: they execute but never commit.
+	WrongPath bool
+
+	// FetchedAt stamps fetch; RenameReadyAt is when the front-end pipe
+	// delivers the instruction to rename.
+	FetchedAt     uint64
+	RenameReadyAt uint64
+
+	// Src1Prod/Src2Prod point at the most recent producers of the
+	// source registers at rename time (nil: value already architectural).
+	Src1Prod, Src2Prod *UOp
+	// PrevProd restores the rename table if this uop is squashed.
+	PrevProd *UOp
+
+	// Resource ownership flags (see core.go squash/commit for the
+	// conservation rules).
+	HasPReg bool
+	InQueue bool
+
+	Issued   bool
+	IssuedAt uint64
+	Executed bool
+	DoneAt   uint64
+
+	Squashed  bool
+	Committed bool
+
+	// Control-flow state.
+	MispredictedBranch bool // resolution must squash and redirect
+	RASTop, RASDepth   int  // RAS repair snapshot (control uops)
+
+	// Memory state.
+	TLBDone    bool
+	TLBMissed  bool
+	RetryAt    uint64
+	WaitingMem bool
+	// Load is the policy-visible descriptor, present only for
+	// correct-path loads that missed the L1 data cache.
+	Load *policy.LoadInfo
+	// Req is the shared-L2 request this uop is waiting on (primary
+	// misses only; merged loads wait on the primary's line).
+	Req *mem.Request
+}
+
+// StageAt classifies the uop's pipeline position for energy accounting.
+// frontStages is the configured front-end depth.
+func (u *UOp) StageAt(now uint64, frontStages int) energy.Stage {
+	switch {
+	case u.Executed:
+		return energy.StageRegWrite
+	case u.Issued || u.WaitingMem:
+		return energy.StageExecute
+	case u.InQueue:
+		return energy.StageQueue
+	default:
+		// In the front-end pipe: apportion fetch/decode/rename by age.
+		age := int(now - u.FetchedAt)
+		third := frontStages / 3
+		if third < 1 {
+			third = 1
+		}
+		switch {
+		case age < third:
+			return energy.StageFetch
+		case age < 2*third:
+			return energy.StageDecode
+		default:
+			return energy.StageRename
+		}
+	}
+}
+
+// ring is a fixed-capacity FIFO of uops supporting tail truncation, used
+// for the per-thread ROB and front-end queue.
+type ring struct {
+	buf  []*UOp
+	head int
+	size int
+}
+
+func newRing(capacity int) *ring {
+	if capacity <= 0 {
+		panic("pipeline: ring capacity must be positive")
+	}
+	return &ring{buf: make([]*UOp, capacity)}
+}
+
+func (r *ring) len() int   { return r.size }
+func (r *ring) full() bool { return r.size == len(r.buf) }
+
+func (r *ring) push(u *UOp) {
+	if r.full() {
+		panic("pipeline: ring overflow")
+	}
+	r.buf[(r.head+r.size)%len(r.buf)] = u
+	r.size++
+}
+
+func (r *ring) front() *UOp {
+	if r.size == 0 {
+		return nil
+	}
+	return r.buf[r.head]
+}
+
+func (r *ring) popFront() *UOp {
+	u := r.front()
+	if u == nil {
+		panic("pipeline: pop from empty ring")
+	}
+	r.buf[r.head] = nil
+	r.head = (r.head + 1) % len(r.buf)
+	r.size--
+	return u
+}
+
+func (r *ring) back() *UOp {
+	if r.size == 0 {
+		return nil
+	}
+	return r.buf[(r.head+r.size-1)%len(r.buf)]
+}
+
+func (r *ring) popBack() *UOp {
+	u := r.back()
+	if u == nil {
+		panic("pipeline: pop from empty ring")
+	}
+	r.buf[(r.head+r.size-1)%len(r.buf)] = nil
+	r.size--
+	return u
+}
+
+// at returns the i-th oldest entry.
+func (r *ring) at(i int) *UOp {
+	if i < 0 || i >= r.size {
+		panic("pipeline: ring index out of range")
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// queue is a shared issue queue: a bounded collection preserving age
+// order, with O(1) free-slot tracking and mid-queue removal by nil-ing.
+type queue struct {
+	slots []*UOp
+	count int
+	cap   int
+}
+
+func newQueue(capacity int) *queue {
+	return &queue{slots: make([]*UOp, 0, capacity+8), cap: capacity}
+}
+
+func (q *queue) hasSpace() bool { return q.count < q.cap }
+func (q *queue) len() int       { return q.count }
+
+func (q *queue) insert(u *UOp) {
+	if !q.hasSpace() {
+		panic("pipeline: issue queue overflow")
+	}
+	// Compact at insert time only: remove() may run inside scan(), and
+	// compacting there would corrupt the live iteration.
+	if len(q.slots) >= 2*q.cap && q.count*2 <= len(q.slots) {
+		live := q.slots[:0]
+		for _, s := range q.slots {
+			if s != nil {
+				live = append(live, s)
+			}
+		}
+		q.slots = live
+	}
+	q.slots = append(q.slots, u)
+	q.count++
+	u.InQueue = true
+}
+
+// remove drops u from the queue (issue or squash).
+func (q *queue) remove(u *UOp) {
+	for i, s := range q.slots {
+		if s == u {
+			q.slots[i] = nil
+			q.count--
+			u.InQueue = false
+			return
+		}
+	}
+	panic("pipeline: removing uop not in queue")
+}
+
+// scan calls f on each entry in age order until f returns false.
+func (q *queue) scan(f func(u *UOp) bool) {
+	for _, s := range q.slots {
+		if s == nil {
+			continue
+		}
+		if !f(s) {
+			return
+		}
+	}
+}

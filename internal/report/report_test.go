@@ -1,0 +1,108 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tbl := NewTable("name", "ipc", "note")
+	tbl.Row("2W1", 1.5, "ok")
+	tbl.Row("longer-name", 10.25, "x")
+	out := tbl.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	// Columns align: "ipc" starts at the same offset in every line.
+	col := strings.Index(lines[0], "ipc")
+	if col < 0 {
+		t.Fatal("header missing")
+	}
+	if !strings.HasPrefix(lines[1][col:], "1.500") {
+		t.Fatalf("misaligned row: %q", lines[1])
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d", tbl.Len())
+	}
+}
+
+func TestTableRowF(t *testing.T) {
+	tbl := NewTable("a", "b")
+	tbl.RowF("x", "+5%")
+	if !strings.Contains(tbl.String(), "+5%") {
+		t.Fatal("preformatted cell lost")
+	}
+}
+
+func TestBars(t *testing.T) {
+	var b strings.Builder
+	err := Bars(&b, 10, []string{"one", "two"}, []float64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// The max value gets the full width; the half value half of it.
+	if !strings.HasSuffix(lines[1], strings.Repeat("#", 10)) {
+		t.Fatalf("max bar wrong: %q", lines[1])
+	}
+	if strings.Count(lines[0], "#") != 5 {
+		t.Fatalf("half bar wrong: %q", lines[0])
+	}
+}
+
+func TestBarsErrors(t *testing.T) {
+	var b strings.Builder
+	if err := Bars(&b, 10, []string{"a"}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if err := Bars(&b, 10, []string{"a"}, []float64{-1}); err == nil {
+		t.Fatal("negative value accepted")
+	}
+}
+
+func TestBarsZeroMax(t *testing.T) {
+	var b strings.Builder
+	if err := Bars(&b, 10, []string{"a"}, []float64{0}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "#") {
+		t.Fatal("zero value produced a bar")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var b strings.Builder
+	if err := Histogram(&b, 10, []uint64{5, 10, 5}, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "0-9") || !strings.Contains(out, "20+") {
+		t.Fatalf("labels wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "50.0%") || !strings.Contains(out, "25.0%") {
+		t.Fatalf("percentages wrong:\n%s", out)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := Histogram(&b, 10, []uint64{0, 0}, 20); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no samples") {
+		t.Fatal("empty marker missing")
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.123); got != "+12.3%" {
+		t.Fatalf("Pct = %q", got)
+	}
+	if got := Pct(-0.05); got != "-5.0%" {
+		t.Fatalf("Pct = %q", got)
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/synth"
+)
+
+// record captures n instructions of a benchmark as a replayable trace.
+func record(t *testing.T, bench string, seed, base uint64, n int) []isa.Inst {
+	t.Helper()
+	prof, ok := synth.ByName(bench)
+	if !ok {
+		t.Fatalf("no benchmark %s", bench)
+	}
+	g := synth.NewGenerator(prof, seed, base)
+	out := make([]isa.Inst, n)
+	for i := range out {
+		g.Next(&out[i])
+	}
+	return out
+}
+
+func TestReplayTracesRun(t *testing.T) {
+	traces := [][]isa.Inst{
+		record(t, "mcf", 1, 1<<34, 50000),
+		record(t, "gzip", 2, 2<<34, 50000),
+	}
+	res, err := Run(Options{
+		Policy: SpecMFLUSH, ThreadTraces: traces,
+		Warmup: 20000, Cycles: 20000, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "replay-2" {
+		t.Fatalf("workload name = %q", res.Workload)
+	}
+	if len(res.Committed) != 2 || res.Committed[0] == 0 || res.Committed[1] == 0 {
+		t.Fatalf("replay starved a thread: %v", res.Committed)
+	}
+	if len(res.PerCore) != 1 {
+		t.Fatalf("replay of 2 traces should use 1 core, got %d", len(res.PerCore))
+	}
+}
+
+func TestReplayDeterminism(t *testing.T) {
+	traces := [][]isa.Inst{record(t, "vpr", 3, 1<<34, 30000)}
+	opt := Options{Policy: SpecICOUNT, ThreadTraces: traces,
+		Warmup: 10000, Cycles: 10000}
+	a, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.IPC != b.IPC || a.Counters.String() != b.Counters.String() {
+		t.Fatal("replay nondeterministic")
+	}
+}
+
+func TestReplayValidation(t *testing.T) {
+	if _, err := Run(Options{Policy: SpecICOUNT, Cycles: 1000,
+		ThreadTraces: [][]isa.Inst{{}}}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	many := make([][]isa.Inst, 3)
+	for i := range many {
+		many[i] = record(t, "gzip", uint64(i+1), uint64(i+1)<<34, 1000)
+	}
+	if _, err := Run(Options{Policy: SpecICOUNT, Cycles: 1000, Cores: 1,
+		ThreadTraces: many}); err == nil {
+		t.Fatal("3 traces on 1 core accepted")
+	}
+}

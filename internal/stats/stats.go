@@ -1,0 +1,305 @@
+// Package stats provides the measurement primitives used by the simulator:
+// scalar counters, latency histograms (for the paper's Figure 4 L2 hit-time
+// analysis) and small aggregation helpers.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates integer samples (cycle latencies) into exact
+// per-value counts up to a bound, with an overflow bucket beyond it. It
+// supports the percentile and banding queries the Figure 4 analysis needs.
+type Histogram struct {
+	counts   []uint64
+	overflow uint64
+	total    uint64
+	sum      uint64
+	min, max int
+}
+
+// NewHistogram returns a histogram with exact buckets for values in
+// [0, bound); larger samples land in the overflow bucket (counted with
+// value bound for the mean).
+func NewHistogram(bound int) *Histogram {
+	if bound <= 0 {
+		panic("stats: histogram bound must be positive")
+	}
+	return &Histogram{counts: make([]uint64, bound), min: -1, max: -1}
+}
+
+// Add records one sample. Negative samples panic: latencies cannot be
+// negative and a negative value always indicates a simulator bug.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative sample %d", v))
+	}
+	h.total++
+	if v >= len(h.counts) {
+		h.overflow++
+		h.sum += uint64(len(h.counts))
+	} else {
+		h.counts[v]++
+		h.sum += uint64(v)
+	}
+	if h.min == -1 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Overflow returns the number of samples beyond the exact range.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Mean returns the average sample (overflow samples are clamped to the
+// bound, making the mean a lower bound in the presence of overflow).
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Min and Max return the extreme recorded samples, or -1 when empty.
+func (h *Histogram) Min() int { return h.min }
+
+// Max returns the largest recorded sample, or -1 when empty.
+func (h *Histogram) Max() int { return h.max }
+
+// Percentile returns the smallest value v such that at least p (0..1) of
+// the samples are <= v. Overflow samples are treated as the bound.
+func (h *Histogram) Percentile(p float64) int {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	need := uint64(p * float64(h.total))
+	if need == 0 {
+		need = 1
+	}
+	var cum uint64
+	for v, c := range h.counts {
+		cum += c
+		if cum >= need {
+			return v
+		}
+	}
+	return len(h.counts)
+}
+
+// FracBetween returns the fraction of samples in [lo, hi).
+func (h *Histogram) FracBetween(lo, hi int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(h.counts) {
+		hi = len(h.counts)
+	}
+	var n uint64
+	for v := lo; v < hi; v++ {
+		n += h.counts[v]
+	}
+	return float64(n) / float64(h.total)
+}
+
+// Buckets returns counts re-binned into equal-width bins of the given
+// width, plus the overflow count. Used to print Figure 4-style
+// distributions.
+func (h *Histogram) Buckets(width int) ([]uint64, uint64) {
+	if width <= 0 {
+		panic("stats: bucket width must be positive")
+	}
+	n := (len(h.counts) + width - 1) / width
+	out := make([]uint64, n)
+	for v, c := range h.counts {
+		out[v/width] += c
+	}
+	return out, h.overflow
+}
+
+// Merge adds all samples of other into h. The histograms must have the
+// same bound.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(h.counts) != len(other.counts) {
+		panic("stats: merging histograms with different bounds")
+	}
+	for v, c := range other.counts {
+		h.counts[v] += c
+	}
+	h.overflow += other.overflow
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if h.min == -1 || (other.min != -1 && other.min < h.min) {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// String renders a compact summary for debugging.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f min=%d p50=%d p90=%d max=%d overflow=%d",
+		h.total, h.Mean(), h.min, h.Percentile(0.5), h.Percentile(0.9), h.max, h.overflow)
+}
+
+// Counter is a named monotonically increasing counter.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Set is an ordered collection of named counters. The zero value is ready
+// to use.
+type Set struct {
+	order []string
+	vals  map[string]uint64
+}
+
+// Inc adds delta to the named counter, creating it on first use.
+func (s *Set) Inc(name string, delta uint64) {
+	if s.vals == nil {
+		s.vals = make(map[string]uint64)
+	}
+	if _, ok := s.vals[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.vals[name] += delta
+}
+
+// Get returns the counter value (zero if never incremented).
+func (s *Set) Get(name string) uint64 { return s.vals[name] }
+
+// All returns the counters in insertion order.
+func (s *Set) All() []Counter {
+	out := make([]Counter, 0, len(s.order))
+	for _, n := range s.order {
+		out = append(out, Counter{Name: n, Value: s.vals[n]})
+	}
+	return out
+}
+
+// Merge adds all counters from other into s.
+func (s *Set) Merge(other *Set) {
+	for _, n := range other.order {
+		s.Inc(n, other.vals[n])
+	}
+}
+
+// String renders "name=value" pairs sorted by name, for stable test output.
+func (s *Set) String() string {
+	names := make([]string, len(s.order))
+	copy(names, s.order)
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, n := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", n, s.vals[n]))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of xs, which must all be positive.
+// Speedup ratios are conventionally aggregated geometrically.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	// Multiply with periodic renormalisation to avoid overflow.
+	prod := 1.0
+	n := 0
+	scale := 0 // power-of-2 exponent factored out
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean needs positive inputs")
+		}
+		prod *= x
+		n++
+		for prod > 1e100 {
+			prod /= 1e100
+			scale += 100 // decimal exponent units of 1e100
+		}
+		for prod < 1e-100 {
+			prod *= 1e100
+			scale -= 100
+		}
+	}
+	// prod * 10^scale, take the n-th root: exp((ln prod + scale ln10)/n)
+	return expApprox((lnApprox(prod) + float64(scale)*2.302585092994046) / float64(n))
+}
+
+// lnApprox and expApprox mirror the helpers in internal/rng; duplicated here
+// (a dozen lines each) to keep stats dependency-free.
+func lnApprox(x float64) float64 {
+	if x <= 0 {
+		panic("stats: ln domain")
+	}
+	const ln2 = 0.6931471805599453
+	k := 0
+	for x > 1.5 {
+		x /= 2
+		k++
+	}
+	for x < 0.75 {
+		x *= 2
+		k--
+	}
+	t := (x - 1) / (x + 1)
+	t2 := t * t
+	sum, term := 0.0, t
+	for i := 1; i < 40; i += 2 {
+		sum += term / float64(i)
+		term *= t2
+	}
+	return 2*sum + float64(k)*ln2
+}
+
+func expApprox(y float64) float64 {
+	const ln2 = 0.6931471805599453
+	neg := y < 0
+	if neg {
+		y = -y
+	}
+	k := int(y / ln2)
+	r := y - float64(k)*ln2
+	term, sum := 1.0, 1.0
+	for i := 1; i < 20; i++ {
+		term *= r / float64(i)
+		sum += term
+	}
+	for i := 0; i < k; i++ {
+		sum *= 2
+	}
+	if neg {
+		return 1 / sum
+	}
+	return sum
+}

@@ -1,0 +1,234 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(100)
+	for _, v := range []int{10, 20, 20, 30} {
+		h.Add(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 20 {
+		t.Fatalf("mean = %v, want 20", got)
+	}
+	if h.Min() != 10 || h.Max() != 30 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramOverflow(t *testing.T) {
+	h := NewHistogram(10)
+	h.Add(5)
+	h.Add(100)
+	if h.Overflow() != 1 {
+		t.Fatalf("overflow = %d", h.Overflow())
+	}
+	// Overflow clamps to the bound for the mean: (5+10)/2.
+	if got := h.Mean(); got != 7.5 {
+		t.Fatalf("mean = %v, want 7.5", got)
+	}
+	if h.Percentile(1.0) != 10 {
+		t.Fatalf("p100 = %d, want bound", h.Percentile(1.0))
+	}
+}
+
+func TestHistogramPercentile(t *testing.T) {
+	h := NewHistogram(1000)
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	if got := h.Percentile(0.5); got != 50 {
+		t.Fatalf("p50 = %d, want 50", got)
+	}
+	if got := h.Percentile(0.9); got != 90 {
+		t.Fatalf("p90 = %d, want 90", got)
+	}
+	if got := h.Percentile(0.01); got != 1 {
+		t.Fatalf("p1 = %d, want 1", got)
+	}
+	// Clamping of out-of-range p.
+	if h.Percentile(-1) != 1 || h.Percentile(2) != 100 {
+		t.Fatal("percentile clamping broken")
+	}
+}
+
+func TestHistogramFracBetween(t *testing.T) {
+	h := NewHistogram(100)
+	for v := 0; v < 100; v++ {
+		h.Add(v)
+	}
+	if got := h.FracBetween(20, 70); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("frac[20,70) = %v, want 0.5", got)
+	}
+	if got := h.FracBetween(-5, 200); got != 1 {
+		t.Fatalf("clamped full range frac = %v, want 1", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(100)
+	h.Add(0)
+	h.Add(9)
+	h.Add(10)
+	h.Add(95)
+	h.Add(200) // overflow
+	buckets, over := h.Buckets(10)
+	if len(buckets) != 10 {
+		t.Fatalf("bucket count = %d", len(buckets))
+	}
+	if buckets[0] != 2 || buckets[1] != 1 || buckets[9] != 1 {
+		t.Fatalf("buckets = %v", buckets)
+	}
+	if over != 1 {
+		t.Fatalf("overflow = %d", over)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(50)
+	b := NewHistogram(50)
+	a.Add(1)
+	a.Add(2)
+	b.Add(40)
+	b.Add(60) // overflow
+	a.Merge(b)
+	if a.Count() != 4 || a.Overflow() != 1 {
+		t.Fatalf("merged count/overflow = %d/%d", a.Count(), a.Overflow())
+	}
+	if a.Min() != 1 || a.Max() != 60 {
+		t.Fatalf("merged min/max = %d/%d", a.Min(), a.Max())
+	}
+}
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	a := NewHistogram(10)
+	b := NewHistogram(10)
+	b.Add(3)
+	b.Merge(a) // merging an empty histogram must not disturb min/max
+	if b.Min() != 3 || b.Max() != 3 || b.Count() != 1 {
+		t.Fatalf("after empty merge: %s", b)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic(t, "bound 0", func() { NewHistogram(0) })
+	mustPanic(t, "negative sample", func() { NewHistogram(5).Add(-1) })
+	mustPanic(t, "bucket width", func() { NewHistogram(5).Buckets(0) })
+	mustPanic(t, "merge mismatch", func() {
+		NewHistogram(5).Merge(NewHistogram(6))
+	})
+}
+
+func TestHistogramPropertyTotals(t *testing.T) {
+	// Property: count equals the sum over all bins plus overflow, and the
+	// min/max bracket every sample.
+	f := func(raw []uint16) bool {
+		h := NewHistogram(256)
+		lo, hi := -1, -1
+		for _, r := range raw {
+			v := int(r % 512)
+			h.Add(v)
+			if lo == -1 || v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		buckets, over := h.Buckets(16)
+		var sum uint64
+		for _, b := range buckets {
+			sum += b
+		}
+		if sum+over != h.Count() {
+			return false
+		}
+		if len(raw) > 0 && (h.Min() != lo || h.Max() != hi) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetCounters(t *testing.T) {
+	var s Set
+	s.Inc("a", 1)
+	s.Inc("b", 2)
+	s.Inc("a", 3)
+	if s.Get("a") != 4 || s.Get("b") != 2 || s.Get("missing") != 0 {
+		t.Fatalf("counter values wrong: %s", s.String())
+	}
+	all := s.All()
+	if len(all) != 2 || all[0].Name != "a" || all[1].Name != "b" {
+		t.Fatalf("All() order wrong: %v", all)
+	}
+}
+
+func TestSetMerge(t *testing.T) {
+	var a, b Set
+	a.Inc("x", 1)
+	b.Inc("x", 2)
+	b.Inc("y", 5)
+	a.Merge(&b)
+	if a.Get("x") != 3 || a.Get("y") != 5 {
+		t.Fatalf("merge wrong: %s", a.String())
+	}
+}
+
+func TestSetString(t *testing.T) {
+	var s Set
+	s.Inc("zeta", 1)
+	s.Inc("alpha", 2)
+	if got := s.String(); got != "alpha=2 zeta=1" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Fatalf("Mean = %v", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if GeoMean(nil) != 0 {
+		t.Fatal("GeoMean(nil) != 0")
+	}
+	if got := GeoMean([]float64{4, 1}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("GeoMean{4,1} = %v, want 2", got)
+	}
+	if got := GeoMean([]float64{2, 2, 2}); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("GeoMean{2,2,2} = %v", got)
+	}
+	// Large inputs must not overflow.
+	big := make([]float64, 1000)
+	for i := range big {
+		big[i] = 1e10
+	}
+	if got := GeoMean(big); math.Abs(got-1e10)/1e10 > 1e-6 {
+		t.Fatalf("GeoMean big = %v", got)
+	}
+	mustPanic(t, "non-positive", func() { GeoMean([]float64{1, 0}) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

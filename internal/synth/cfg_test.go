@@ -1,0 +1,131 @@
+package synth
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestCFGTargetsAreBlockStarts verifies every taken control transfer
+// lands exactly on a block start (the generator's static program is
+// well-formed), so the icache/BTB see a consistent code layout.
+func TestCFGTargetsAreBlockStarts(t *testing.T) {
+	p, _ := ByName("gcc")
+	g := NewGenerator(p, 9, 0)
+	starts := map[uint64]bool{}
+	for _, b := range g.blocks {
+		starts[b.start] = true
+	}
+	var in isa.Inst
+	for i := 0; i < 100000; i++ {
+		g.Next(&in)
+		if in.Class.IsControl() && in.Taken && !starts[in.Target] {
+			t.Fatalf("control at %#x targets %#x, not a block start", in.PC, in.Target)
+		}
+	}
+}
+
+// TestCFGCodeFootprint checks the static code size tracks the profile's
+// block parameters (the icache pressure knob).
+func TestCFGCodeFootprint(t *testing.T) {
+	for _, name := range []string{"gzip", "gcc", "swim"} {
+		p, _ := ByName(name)
+		g := NewGenerator(p, 1, 0)
+		last := g.blocks[len(g.blocks)-1]
+		span := last.start + uint64(last.length+1)*4 // end of code
+		expected := uint64(p.CodeBlocks * (p.AvgBlockLen + 1) * 4)
+		if span < expected/2 || span > expected*2 {
+			t.Errorf("%s: code span %d far from expected ~%d", name, span, expected)
+		}
+	}
+}
+
+// TestCallsReturnToCallSiteSuccessor verifies call/return pairing: the
+// instruction stream after a return continues at the block following the
+// call site.
+func TestCallsReturnToCallSiteSuccessor(t *testing.T) {
+	p, _ := ByName("vortex") // CallFrac 0.08: plenty of calls
+	g := NewGenerator(p, 4, 0)
+	var in isa.Inst
+	returns := 0
+	for i := 0; i < 200000 && returns < 50; i++ {
+		g.Next(&in)
+		if in.Class == isa.ClassReturn {
+			returns++
+			if !in.Taken || in.Target == 0 {
+				t.Fatal("return with no target")
+			}
+			var next isa.Inst
+			g.Next(&next)
+			if next.PC != in.Target {
+				t.Fatalf("return targets %#x but stream continues at %#x", in.Target, next.PC)
+			}
+		}
+	}
+	if returns == 0 {
+		t.Fatal("no returns emitted")
+	}
+}
+
+// TestBranchBiasControlsPredictability verifies the BranchBias knob: a
+// high-bias profile's branch outcomes are more compressible (per-site
+// majority agreement) than a low-bias profile's.
+func TestBranchBiasControlsPredictability(t *testing.T) {
+	agree := func(name string) float64 {
+		p, _ := ByName(name)
+		g := NewGenerator(p, 10, 0)
+		var in isa.Inst
+		taken := map[uint64]int{}
+		total := map[uint64]int{}
+		for i := 0; i < 300000; i++ {
+			g.Next(&in)
+			if in.Class == isa.ClassBranch {
+				total[in.PC]++
+				if in.Taken {
+					taken[in.PC]++
+				}
+			}
+		}
+		agreeing, n := 0, 0
+		for pc, tot := range total {
+			if tot < 10 {
+				continue
+			}
+			maj := taken[pc]
+			if maj*2 < tot {
+				maj = tot - maj
+			}
+			agreeing += maj
+			n += tot
+		}
+		if n == 0 {
+			t.Fatalf("%s produced no measured branches", name)
+		}
+		return float64(agreeing) / float64(n)
+	}
+	swim := agree("swim")   // bias 0.97
+	twolf := agree("twolf") // bias 0.87
+	if swim <= twolf {
+		t.Fatalf("swim agreement %.3f not above twolf %.3f", swim, twolf)
+	}
+	if swim < 0.90 {
+		t.Fatalf("swim agreement %.3f too low for bias 0.97", swim)
+	}
+}
+
+// TestStreamsStayInFootprint verifies strided accesses never escape the
+// thread's data region.
+func TestStreamsStayInFootprint(t *testing.T) {
+	p, _ := ByName("swim")
+	base := uint64(3) << 34
+	g := NewGenerator(p, 2, base)
+	dataLo := base + 1<<30
+	dataHi := dataLo + p.FootprintBytes
+	var in isa.Inst
+	for i := 0; i < 200000; i++ {
+		g.Next(&in)
+		if in.Class.IsMem() && (in.Addr < dataLo || in.Addr >= dataHi) {
+			t.Fatalf("access %#x outside data region [%#x,%#x)", in.Addr, dataLo, dataHi)
+		}
+	}
+}

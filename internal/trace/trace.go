@@ -1,0 +1,209 @@
+// Package trace defines how dynamic instruction streams reach the
+// simulator: the Source interface produced by the synthetic workload
+// generator (or by trace files), a fixed-record binary file format with
+// Reader/Writer, and the basic-block dictionary used to synthesise
+// plausible wrong-path instructions after branch mispredictions — the
+// SMTsim technique the paper's methodology section describes.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/isa"
+)
+
+// Source produces the correct-path dynamic instruction stream of one
+// thread. Implementations must be deterministic. Streams are unbounded:
+// finite traces loop.
+type Source interface {
+	// Next fills out with the next dynamic instruction.
+	Next(out *isa.Inst)
+}
+
+// SliceSource replays a finite instruction slice, looping at the end.
+type SliceSource struct {
+	insts []isa.Inst
+	pos   int
+}
+
+// NewSliceSource wraps the given instructions. It panics on an empty
+// slice: a thread must always have something to execute.
+func NewSliceSource(insts []isa.Inst) *SliceSource {
+	if len(insts) == 0 {
+		panic("trace: empty instruction slice")
+	}
+	return &SliceSource{insts: insts}
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(out *isa.Inst) {
+	*out = s.insts[s.pos]
+	s.pos++
+	if s.pos == len(s.insts) {
+		s.pos = 0
+	}
+}
+
+// Len returns the trace length in instructions.
+func (s *SliceSource) Len() int { return len(s.insts) }
+
+// File format: 8-byte magic+version header, then fixed 29-byte records.
+const (
+	fileMagic   = "MFTRACE1"
+	recordBytes = 8 + 1 + 1 + 1 + 1 + 8 + 1 + 8
+)
+
+// Writer serialises instructions to a trace file.
+type Writer struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one instruction record.
+func (w *Writer) Write(in *isa.Inst) error {
+	if w.err != nil {
+		return w.err
+	}
+	var buf [recordBytes]byte
+	binary.LittleEndian.PutUint64(buf[0:], in.PC)
+	buf[8] = byte(in.Class)
+	buf[9] = byte(in.Dest)
+	buf[10] = byte(in.Src1)
+	buf[11] = byte(in.Src2)
+	binary.LittleEndian.PutUint64(buf[12:], in.Addr)
+	if in.Taken {
+		buf[20] = 1
+	}
+	binary.LittleEndian.PutUint64(buf[21:], in.Target)
+	if _, err := w.w.Write(buf[:]); err != nil {
+		w.err = fmt.Errorf("trace: writing record %d: %w", w.n, err)
+		return w.err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int { return w.n }
+
+// Flush flushes buffered records to the underlying writer.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// ErrBadTrace reports a malformed trace file.
+var ErrBadTrace = errors.New("trace: malformed trace file")
+
+// ReadAll parses a complete trace file into memory.
+func ReadAll(r io.Reader) ([]isa.Inst, error) {
+	br := bufio.NewReader(r)
+	var magic [len(fileMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing header: %v", ErrBadTrace, err)
+	}
+	if string(magic[:]) != fileMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+	}
+	var out []isa.Inst
+	var buf [recordBytes]byte
+	for {
+		_, err := io.ReadFull(br, buf[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%w: truncated record %d: %v", ErrBadTrace, len(out), err)
+		}
+		cls := isa.Class(buf[8])
+		if int(cls) >= isa.NumClasses {
+			return nil, fmt.Errorf("%w: record %d has class %d", ErrBadTrace, len(out), cls)
+		}
+		out = append(out, isa.Inst{
+			PC:     binary.LittleEndian.Uint64(buf[0:]),
+			Class:  cls,
+			Dest:   isa.Reg(buf[9]),
+			Src1:   isa.Reg(buf[10]),
+			Src2:   isa.Reg(buf[11]),
+			Addr:   binary.LittleEndian.Uint64(buf[12:]),
+			Taken:  buf[20] == 1,
+			Target: binary.LittleEndian.Uint64(buf[21:]),
+		})
+	}
+}
+
+// BBDict is the basic-block dictionary: a deterministic map from any PC to
+// static instruction information, used to synthesise wrong-path
+// instruction streams. Real SMTsim records every static instruction of
+// the binary; we derive equivalent information from a hash of the PC, so
+// the same PC always yields the same "static" instruction — wrong paths
+// are repeatable and pollute the icache/predictor consistently.
+type BBDict struct {
+	// dataBase/dataSpan direct wrong-path memory accesses into the
+	// owning thread's address space so pollution lands in its own
+	// working set.
+	dataBase uint64
+	dataSpan uint64
+}
+
+// NewBBDict builds a dictionary whose wrong-path memory accesses fall in
+// [dataBase, dataBase+dataSpan).
+func NewBBDict(dataBase, dataSpan uint64) *BBDict {
+	if dataSpan == 0 {
+		dataSpan = 1 << 20
+	}
+	return &BBDict{dataBase: dataBase, dataSpan: dataSpan}
+}
+
+// hashPC mixes a PC into pseudo-random static instruction bits.
+func hashPC(pc uint64) uint64 {
+	x := pc * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return x
+}
+
+// InstAt synthesises the static instruction at pc. Wrong-path streams are
+// mostly ALU work with occasional loads; control instructions fall
+// through (wrong paths are never followed further).
+func (d *BBDict) InstAt(pc uint64, out *isa.Inst) {
+	h := hashPC(pc)
+	out.PC = pc
+	out.Taken = false
+	out.Target = 0
+	out.Dest = isa.Reg(1 + (h>>8)%62)
+	out.Src1 = isa.Reg(1 + (h>>16)%62)
+	out.Src2 = isa.Reg(1 + (h>>24)%62)
+	switch h % 16 {
+	case 0, 1, 2:
+		out.Class = isa.ClassLoad
+		out.Addr = d.dataBase + (h>>32)%d.dataSpan
+	case 3:
+		out.Class = isa.ClassStore
+		out.Addr = d.dataBase + (h>>32)%d.dataSpan
+	case 4:
+		out.Class = isa.ClassBranch
+		out.Dest = isa.InvalidReg
+	case 5:
+		out.Class = isa.ClassFP
+	default:
+		out.Class = isa.ClassInt
+	}
+}

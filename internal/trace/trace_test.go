@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestSliceSourceLoops(t *testing.T) {
+	insts := []isa.Inst{
+		{PC: 0x100, Class: isa.ClassInt},
+		{PC: 0x104, Class: isa.ClassLoad, Addr: 0x2000},
+	}
+	s := NewSliceSource(insts)
+	var out isa.Inst
+	for round := 0; round < 3; round++ {
+		for i := range insts {
+			s.Next(&out)
+			if out.PC != insts[i].PC {
+				t.Fatalf("round %d pos %d: pc %#x, want %#x", round, i, out.PC, insts[i].PC)
+			}
+		}
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestSliceSourceEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSliceSource(nil)
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	insts := []isa.Inst{
+		{PC: 0x1000, Class: isa.ClassInt, Dest: 1, Src1: 2, Src2: 3},
+		{PC: 0x1004, Class: isa.ClassLoad, Dest: 4, Src1: 1, Src2: isa.InvalidReg, Addr: 0xdeadbeef},
+		{PC: 0x1008, Class: isa.ClassBranch, Dest: isa.InvalidReg, Taken: true, Target: 0x2000},
+		{PC: 0x100c, Class: isa.ClassStore, Src1: 4, Addr: 0xffffffffffff},
+		{PC: 0x1010, Class: isa.ClassReturn, Taken: true, Target: 0x900},
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range insts {
+		if err := w.Write(&insts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != len(insts) {
+		t.Fatalf("count = %d", w.Count())
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(insts) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(insts))
+	}
+	for i := range insts {
+		if got[i] != insts[i] {
+			t.Fatalf("record %d: got %+v, want %+v", i, got[i], insts[i])
+		}
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(pcs []uint64, classes []uint8) bool {
+		n := len(pcs)
+		if len(classes) < n {
+			n = len(classes)
+		}
+		insts := make([]isa.Inst, 0, n)
+		for i := 0; i < n; i++ {
+			insts = append(insts, isa.Inst{
+				PC:    pcs[i],
+				Class: isa.Class(classes[i] % uint8(isa.NumClasses)),
+				Dest:  isa.Reg(classes[i] % 64),
+				Addr:  pcs[i] * 3,
+				Taken: classes[i]%2 == 0,
+			})
+		}
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		for i := range insts {
+			if w.Write(&insts[i]) != nil {
+				return false
+			}
+		}
+		if w.Flush() != nil {
+			return false
+		}
+		got, err := ReadAll(&buf)
+		if err != nil || len(got) != len(insts) {
+			return false
+		}
+		for i := range insts {
+			if got[i] != insts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadAllRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOTTRACE plus some data"),
+		"truncated": append([]byte("MFTRACE1"), 1, 2, 3),
+	}
+	for name, data := range cases {
+		if _, err := ReadAll(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: error = %v, want ErrBadTrace", name, err)
+		}
+	}
+	// Valid header+record but invalid class byte.
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	in := isa.Inst{Class: isa.ClassInt}
+	w.Write(&in)
+	w.Flush()
+	data := buf.Bytes()
+	data[8+8] = 200 // class byte of the first record
+	if _, err := ReadAll(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("bad class: error = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestBBDictDeterministic(t *testing.T) {
+	d := NewBBDict(0x10000, 1<<16)
+	var a, b isa.Inst
+	d.InstAt(0x4000, &a)
+	d.InstAt(0x4000, &b)
+	if a != b {
+		t.Fatalf("dictionary nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestBBDictAddressesInRange(t *testing.T) {
+	base, span := uint64(0x100000), uint64(1<<20)
+	d := NewBBDict(base, span)
+	var in isa.Inst
+	memSeen := 0
+	for pc := uint64(0); pc < 4*4096; pc += 4 {
+		d.InstAt(pc, &in)
+		if in.PC != pc {
+			t.Fatalf("pc not preserved: %#x", in.PC)
+		}
+		if in.Class.IsMem() {
+			memSeen++
+			if in.Addr < base || in.Addr >= base+span {
+				t.Fatalf("wrong-path address %#x outside [%#x,%#x)", in.Addr, base, base+span)
+			}
+		}
+		if in.Taken {
+			t.Fatal("wrong-path instructions must not be taken branches")
+		}
+	}
+	if memSeen == 0 {
+		t.Fatal("wrong-path stream contains no memory operations")
+	}
+}
+
+func TestBBDictMix(t *testing.T) {
+	d := NewBBDict(0, 0) // default span
+	counts := map[isa.Class]int{}
+	var in isa.Inst
+	const n = 16384
+	for pc := uint64(0); pc < n*4; pc += 4 {
+		d.InstAt(pc, &in)
+		counts[in.Class]++
+	}
+	loadFrac := float64(counts[isa.ClassLoad]) / n
+	if loadFrac < 0.10 || loadFrac > 0.30 {
+		t.Fatalf("wrong-path load fraction %.3f out of plausible range", loadFrac)
+	}
+	if counts[isa.ClassInt] == 0 || counts[isa.ClassBranch] == 0 {
+		t.Fatal("wrong-path stream lacks ALU or branch instructions")
+	}
+}

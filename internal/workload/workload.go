@@ -1,0 +1,105 @@
+// Package workload encodes the paper's Figure 1 workload table: 5
+// workloads at each of 4 sizes (2, 4, 6 and 8 threads), named xWy where x
+// is the thread count and y the workload identifier, plus the bzip2/twolf
+// mix used in the Figure 5(b) Detection Moment analysis.
+//
+// Each workload of size x runs on a CMP with x/2 two-context SMT cores.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/synth"
+)
+
+// Workload is a named list of benchmark instances, one per hardware
+// thread, in scheduling order: threads 2i and 2i+1 share core i.
+type Workload struct {
+	Name    string
+	Letters string // one letter per thread, paper Figure 1 encoding
+}
+
+// table is the paper's Figure 1 workload matrix.
+var table = []Workload{
+	{"2W1", "bj"}, {"2W2", "ne"}, {"2W3", "da"}, {"2W4", "gf"}, {"2W5", "rp"},
+	{"4W1", "bqtj"}, {"4W2", "lnpe"}, {"4W3", "dsra"}, {"4W4", "gbmf"}, {"4W5", "rjfp"},
+	{"6W1", "lbqftj"}, {"6W2", "glnpea"}, {"6W3", "dlswra"}, {"6W4", "rgbmhf"}, {"6W5", "hlermd"},
+	{"8W1", "dlbgijcf"}, {"8W2", "bgmnahop"}, {"8W3", "mnrqijeh"}, {"8W4", "lbgmnrfs"}, {"8W5", "qbckeaot"},
+}
+
+// BzipTwolf8 is the additional 8-thread workload of Figure 5(b): instances
+// of bzip2 and twolf arranged so the two applications never share a core.
+var BzipTwolf8 = Workload{Name: "8W-bzip2-twolf", Letters: "kkllkkll"}
+
+// All returns the 20 Figure 1 workloads in table order.
+func All() []Workload {
+	out := make([]Workload, len(table))
+	copy(out, table)
+	return out
+}
+
+// ByName returns a workload by its xWy name (or the Figure 5(b) name).
+func ByName(name string) (Workload, bool) {
+	for _, w := range table {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	if name == BzipTwolf8.Name {
+		return BzipTwolf8, true
+	}
+	return Workload{}, false
+}
+
+// OfSize returns the five workloads with the given thread count.
+func OfSize(threads int) []Workload {
+	var out []Workload
+	for _, w := range table {
+		if len(w.Letters) == threads {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// Sizes returns the distinct workload sizes in ascending order.
+func Sizes() []int { return []int{2, 4, 6, 8} }
+
+// Threads returns the number of hardware threads the workload needs.
+func (w Workload) Threads() int { return len(w.Letters) }
+
+// Cores returns the number of 2-context SMT cores the workload runs on
+// (the paper's "each workload size x is simulated on x/2 cores").
+func (w Workload) Cores() int { return (len(w.Letters) + 1) / 2 }
+
+// Profiles resolves the letters into benchmark profiles, one per thread.
+func (w Workload) Profiles() ([]synth.Profile, error) {
+	out := make([]synth.Profile, 0, len(w.Letters))
+	for i := 0; i < len(w.Letters); i++ {
+		p, ok := synth.ByLetter(w.Letters[i])
+		if !ok {
+			return nil, fmt.Errorf("workload %s: unknown benchmark letter %q", w.Name, w.Letters[i])
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// Describe renders "name: bench0+bench1+..." for reports.
+func (w Workload) Describe() string {
+	s := w.Name + ":"
+	for i := 0; i < len(w.Letters); i++ {
+		p, ok := synth.ByLetter(w.Letters[i])
+		name := string(w.Letters[i])
+		if ok {
+			name = p.Name
+		}
+		if i > 0 {
+			s += "+"
+		} else {
+			s += " "
+		}
+		s += name
+	}
+	return s
+}

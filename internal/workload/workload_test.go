@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableMatchesPaperFigure1(t *testing.T) {
+	// Spot-check entries transcribed from the paper.
+	cases := map[string]string{
+		"2W1": "bj", "2W3": "da", "2W5": "rp",
+		"4W2": "lnpe", "4W4": "gbmf",
+		"6W3": "dlswra", "6W5": "hlermd",
+		"8W1": "dlbgijcf", "8W3": "mnrqijeh", "8W5": "qbckeaot",
+	}
+	for name, letters := range cases {
+		w, ok := ByName(name)
+		if !ok {
+			t.Errorf("%s missing", name)
+			continue
+		}
+		if w.Letters != letters {
+			t.Errorf("%s letters %q, want %q", name, w.Letters, letters)
+		}
+	}
+}
+
+func TestAllShape(t *testing.T) {
+	all := All()
+	if len(all) != 20 {
+		t.Fatalf("workload count = %d, want 20", len(all))
+	}
+	for _, size := range Sizes() {
+		ws := OfSize(size)
+		if len(ws) != 5 {
+			t.Errorf("size %d has %d workloads, want 5", size, len(ws))
+		}
+		for _, w := range ws {
+			if w.Threads() != size {
+				t.Errorf("%s threads %d, want %d", w.Name, w.Threads(), size)
+			}
+			if w.Cores() != size/2 {
+				t.Errorf("%s cores %d, want %d", w.Name, w.Cores(), size/2)
+			}
+		}
+	}
+}
+
+func TestProfilesResolve(t *testing.T) {
+	for _, w := range append(All(), BzipTwolf8) {
+		ps, err := w.Profiles()
+		if err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+			continue
+		}
+		if len(ps) != w.Threads() {
+			t.Errorf("%s resolved %d profiles for %d threads", w.Name, len(ps), w.Threads())
+		}
+	}
+}
+
+func TestBzipTwolfNeverShareCore(t *testing.T) {
+	w := BzipTwolf8
+	for c := 0; c < w.Cores(); c++ {
+		a, b := w.Letters[2*c], w.Letters[2*c+1]
+		if a != b {
+			t.Errorf("core %d mixes %c and %c; the paper keeps the applications apart", c, a, b)
+		}
+	}
+	// Both applications must actually appear.
+	if !strings.Contains(w.Letters, "k") || !strings.Contains(w.Letters, "l") {
+		t.Error("workload must contain both bzip2 (k) and twolf (l)")
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, ok := ByName("9W9"); ok {
+		t.Fatal("phantom workload")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	w, _ := ByName("2W3")
+	d := w.Describe()
+	if !strings.Contains(d, "mcf") || !strings.Contains(d, "gzip") {
+		t.Fatalf("describe(2W3) = %q, want mcf+gzip", d)
+	}
+}

@@ -1,0 +1,71 @@
+package mflush
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeWorkloads(t *testing.T) {
+	if got := len(Workloads()); got != 20 {
+		t.Fatalf("workload count = %d", got)
+	}
+	w, ok := WorkloadByName("2W3")
+	if !ok || !strings.Contains(w.Describe(), "mcf") {
+		t.Fatalf("2W3 = %q, %t", w.Describe(), ok)
+	}
+	if got := len(WorkloadsOfSize(6)); got != 5 {
+		t.Fatalf("6-thread workloads = %d", got)
+	}
+	if got := len(BenchmarkProfiles()); got != 26 {
+		t.Fatalf("profiles = %d", got)
+	}
+}
+
+func TestFacadePolicySpecs(t *testing.T) {
+	cases := map[string]PolicySpec{
+		"ICOUNT":    ICOUNT,
+		"FLUSH-NS":  FlushNS,
+		"MFLUSH":    MFLUSH,
+		"FLUSH-S70": FlushS(70),
+		"STALL-S40": StallS(40),
+		"MFLUSH-H3": MFLUSHHistory(3),
+	}
+	for want, spec := range cases {
+		if got := spec.String(); got != want {
+			t.Errorf("spec = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestFacadeConfigAndEnvironment(t *testing.T) {
+	cfg := DefaultConfig(4)
+	if cfg.Cores != 4 || cfg.Core.ThreadsPerCore != 2 {
+		t.Fatalf("config shape wrong: %+v", cfg)
+	}
+	env := OperationalEnvironment(4)
+	if env.MT == 0 {
+		t.Fatal("4-core MT should be positive")
+	}
+	if OperationalEnvironment(1).MT != 0 {
+		t.Fatal("1-core MT should be zero")
+	}
+}
+
+func TestFacadeRun(t *testing.T) {
+	w, _ := WorkloadByName("2W1")
+	res, err := Run(Options{Workload: w, Policy: MFLUSH, Warmup: 15000, Cycles: 15000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Fatal("no progress through the facade")
+	}
+	base, err := Run(Options{Workload: w, Policy: ICOUNT, Warmup: 15000, Cycles: 15000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Speedup math is exposed and consistent.
+	if s := Speedup(res, base); s != res.IPC/base.IPC-1 {
+		t.Fatalf("speedup = %v", s)
+	}
+}
