@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test shorttest vet bench bench-throughput
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+shorttest:
+	$(GO) test -short ./...
+
+vet:
+	$(GO) vet ./...
+
+# Full evaluation benchmarks: every figure's headline metric plus raw
+# simulator throughput.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Just the simulator speed benchmarks (the PERFORMANCE numbers in
+# README.md).
+bench-throughput:
+	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkSingleCoreSim' -benchmem -benchtime 5x .

@@ -196,6 +196,7 @@ func BenchmarkAblationRegReserve(b *testing.B) {
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	w, _ := workload.ByName("8W3")
 	const cycles = 20000
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(sim.Options{
@@ -212,6 +213,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 func BenchmarkSingleCoreSim(b *testing.B) {
 	w, _ := workload.ByName("2W1")
 	const cycles = 20000
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(sim.Options{

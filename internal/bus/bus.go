@@ -16,6 +16,8 @@ type Bus[T any] struct {
 	perCycle int
 	queue    fifo[item[T]]
 	inFlight fifo[item[T]]
+	// out is the delivery buffer reused across Ticks.
+	out []T
 
 	transfers uint64
 	waitSum   uint64
@@ -49,7 +51,8 @@ func (b *Bus[T]) Push(now uint64, payload T) {
 
 // Tick advances the bus to cycle now: it grants up to perCycle queued
 // transfers and returns every payload whose transit completes at now.
-// Call exactly once per cycle with a monotonically increasing now.
+// Call exactly once per cycle with a monotonically increasing now. The
+// returned slice is reused by the next Tick: consume it before then.
 func (b *Bus[T]) Tick(now uint64) []T {
 	for granted := 0; granted < b.perCycle && b.queue.len() > 0; granted++ {
 		it := b.queue.pop()
@@ -58,10 +61,11 @@ func (b *Bus[T]) Tick(now uint64) []T {
 		b.transfers++
 		b.inFlight.push(it)
 	}
-	var out []T
+	out := b.out[:0]
 	for b.inFlight.len() > 0 && b.inFlight.peek().deliver <= now {
 		out = append(out, b.inFlight.pop().payload)
 	}
+	b.out = out
 	return out
 }
 

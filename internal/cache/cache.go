@@ -22,10 +22,15 @@ type Cache struct {
 	sets     int
 	lineBits uint
 	bankMask uint64
-	// tags[bank][set*assoc+way]; 0 means empty, otherwise lineAddr+1.
-	tags [][]uint64
-	// stamp[bank][set*assoc+way]: LRU timestamps.
-	stamp   [][]uint64
+	// bankStride is sets*assoc: ways of (bank, set) start at
+	// bank*bankStride + set*assoc in the flat arrays below (one
+	// allocation each, better locality than per-bank slices).
+	bankStride int
+	// tags[bank*bankStride+set*assoc+way]; 0 means empty, otherwise
+	// lineAddr+1.
+	tags []uint64
+	// stamp mirrors tags with LRU timestamps.
+	stamp   []uint64
 	clock   uint64
 	hits    uint64
 	misses  uint64
@@ -43,16 +48,13 @@ func New(geom config.CacheGeom) *Cache {
 		lineBits++
 	}
 	c := &Cache{
-		geom:     geom,
-		sets:     sets,
-		lineBits: lineBits,
-		bankMask: uint64(geom.Banks - 1),
-		tags:     make([][]uint64, geom.Banks),
-		stamp:    make([][]uint64, geom.Banks),
-	}
-	for b := range c.tags {
-		c.tags[b] = make([]uint64, sets*geom.Assoc)
-		c.stamp[b] = make([]uint64, sets*geom.Assoc)
+		geom:       geom,
+		sets:       sets,
+		lineBits:   lineBits,
+		bankMask:   uint64(geom.Banks - 1),
+		bankStride: sets * geom.Assoc,
+		tags:       make([]uint64, geom.Banks*sets*geom.Assoc),
+		stamp:      make([]uint64, geom.Banks*sets*geom.Assoc),
 	}
 	return c
 }
@@ -85,11 +87,10 @@ func bitsFor(n int) int {
 // replacement state or statistics.
 func (c *Cache) Probe(addr uint64) bool {
 	line := c.LineAddr(addr)
-	bank := c.BankOf(addr)
-	base := c.setOf(line) * c.geom.Assoc
+	base := c.BankOf(addr)*c.bankStride + c.setOf(line)*c.geom.Assoc
 	tag := line + 1
 	for w := 0; w < c.geom.Assoc; w++ {
-		if c.tags[bank][base+w] == tag {
+		if c.tags[base+w] == tag {
 			return true
 		}
 	}
@@ -101,12 +102,11 @@ func (c *Cache) Probe(addr uint64) bool {
 func (c *Cache) Access(addr uint64) bool {
 	c.clock++
 	line := c.LineAddr(addr)
-	bank := c.BankOf(addr)
-	base := c.setOf(line) * c.geom.Assoc
+	base := c.BankOf(addr)*c.bankStride + c.setOf(line)*c.geom.Assoc
 	tag := line + 1
 	for w := 0; w < c.geom.Assoc; w++ {
-		if c.tags[bank][base+w] == tag {
-			c.stamp[bank][base+w] = c.clock
+		if c.tags[base+w] == tag {
+			c.stamp[base+w] = c.clock
 			c.hits++
 			return true
 		}
@@ -122,30 +122,29 @@ func (c *Cache) Fill(addr uint64) (evicted uint64, wasValid bool) {
 	c.clock++
 	c.inserts++
 	line := c.LineAddr(addr)
-	bank := c.BankOf(addr)
-	base := c.setOf(line) * c.geom.Assoc
+	base := c.BankOf(addr)*c.bankStride + c.setOf(line)*c.geom.Assoc
 	tag := line + 1
 	victim := 0
 	for w := 0; w < c.geom.Assoc; w++ {
 		i := base + w
-		if c.tags[bank][i] == tag {
+		if c.tags[i] == tag {
 			// Already present (a racing fill); just refresh.
-			c.stamp[bank][i] = c.clock
+			c.stamp[i] = c.clock
 			return 0, false
 		}
-		if c.tags[bank][i] == 0 {
-			c.tags[bank][i] = tag
-			c.stamp[bank][i] = c.clock
+		if c.tags[i] == 0 {
+			c.tags[i] = tag
+			c.stamp[i] = c.clock
 			return 0, false
 		}
-		if c.stamp[bank][i] < c.stamp[bank][base+victim] {
+		if c.stamp[i] < c.stamp[base+victim] {
 			victim = w
 		}
 	}
 	i := base + victim
-	old := c.tags[bank][i] - 1
-	c.tags[bank][i] = tag
-	c.stamp[bank][i] = c.clock
+	old := c.tags[i] - 1
+	c.tags[i] = tag
+	c.stamp[i] = c.clock
 	return old << c.lineBits, true
 }
 
@@ -166,9 +165,14 @@ func (c *Cache) MissRate() float64 {
 // MSHR is a miss status holding register file. Each entry tracks one
 // outstanding line fill; subsequent misses to the same line merge into the
 // existing entry instead of issuing duplicate requests.
+//
+// The file is a fixed array (as the hardware is): lookups scan at most
+// capacity entries, and no allocation happens after construction. Entry
+// pointers stay valid while the entry is live, and Slot exposes the stable
+// array index so clients can keep per-entry side state in parallel arrays.
 type MSHR struct {
-	capacity int
-	entries  map[uint64]*MSHREntry
+	entries []MSHREntry
+	live    int
 }
 
 // MSHREntry records one outstanding miss.
@@ -179,32 +183,62 @@ type MSHREntry struct {
 	Waiters int
 	// Issued marks whether the fill request has been sent downstream.
 	Issued bool
+
+	valid bool
+	slot  int
 }
+
+// Slot returns the entry's stable index in [0, Capacity).
+func (e *MSHREntry) Slot() int { return e.slot }
 
 // NewMSHR returns an MSHR file with the given entry count.
 func NewMSHR(capacity int) *MSHR {
 	if capacity <= 0 {
 		panic("cache: MSHR capacity must be positive")
 	}
-	return &MSHR{capacity: capacity, entries: make(map[uint64]*MSHREntry, capacity)}
+	m := &MSHR{entries: make([]MSHREntry, capacity)}
+	for i := range m.entries {
+		m.entries[i].slot = i
+	}
+	return m
 }
 
 // Lookup returns the entry for the line, or nil.
-func (m *MSHR) Lookup(line uint64) *MSHREntry { return m.entries[line] }
+func (m *MSHR) Lookup(line uint64) *MSHREntry {
+	for i := range m.entries {
+		if m.entries[i].valid && m.entries[i].Line == line {
+			return &m.entries[i]
+		}
+	}
+	return nil
+}
 
 // Allocate records a miss for line. If an entry already exists the miss is
 // merged (secondary miss) and merged=true is returned. If the file is full
 // and no entry exists, ok=false is returned and the requester must stall.
 func (m *MSHR) Allocate(line uint64) (e *MSHREntry, merged, ok bool) {
-	if e := m.entries[line]; e != nil {
-		e.Waiters++
-		return e, true, true
+	free := -1
+	for i := range m.entries {
+		if !m.entries[i].valid {
+			if free < 0 {
+				free = i
+			}
+			continue
+		}
+		if m.entries[i].Line == line {
+			m.entries[i].Waiters++
+			return &m.entries[i], true, true
+		}
 	}
-	if len(m.entries) >= m.capacity {
+	if free < 0 {
 		return nil, false, false
 	}
-	e = &MSHREntry{Line: line, Waiters: 1}
-	m.entries[line] = e
+	e = &m.entries[free]
+	e.Line = line
+	e.Waiters = 1
+	e.Issued = false
+	e.valid = true
+	m.live++
 	return e, false, true
 }
 
@@ -212,22 +246,32 @@ func (m *MSHR) Allocate(line uint64) (e *MSHREntry, merged, ok bool) {
 // number of waiters that were blocked on it. Freeing an absent line
 // panics: it indicates double-completion.
 func (m *MSHR) Free(line uint64) int {
-	e := m.entries[line]
+	e := m.Lookup(line)
 	if e == nil {
 		panic(fmt.Sprintf("cache: MSHR free of absent line %#x", line))
 	}
-	delete(m.entries, line)
+	m.FreeEntry(e)
 	return e.Waiters
 }
 
+// FreeEntry releases an entry the caller already holds (from Lookup or
+// Allocate), avoiding Free's re-scan. Freeing a dead entry panics.
+func (m *MSHR) FreeEntry(e *MSHREntry) {
+	if !e.valid {
+		panic(fmt.Sprintf("cache: MSHR double free of line %#x", e.Line))
+	}
+	e.valid = false
+	m.live--
+}
+
 // InUse returns the number of live entries.
-func (m *MSHR) InUse() int { return len(m.entries) }
+func (m *MSHR) InUse() int { return m.live }
 
 // Full reports whether a new (non-merging) allocation would fail.
-func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+func (m *MSHR) Full() bool { return m.live >= len(m.entries) }
 
 // Capacity returns the configured entry count.
-func (m *MSHR) Capacity() int { return m.capacity }
+func (m *MSHR) Capacity() int { return len(m.entries) }
 
 // TLB is a fully-associative translation buffer with LRU replacement over
 // page numbers.

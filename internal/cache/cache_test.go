@@ -118,17 +118,15 @@ func TestCacheCapacityProperty(t *testing.T) {
 				return false
 			}
 		}
-		for bank := range c.tags {
-			counts := map[int]int{}
-			for i, tag := range c.tags[bank] {
-				if tag != 0 {
-					counts[i/g.Assoc]++
-				}
+		counts := map[int]int{}
+		for i, tag := range c.tags {
+			if tag != 0 {
+				counts[i/g.Assoc]++
 			}
-			for _, n := range counts {
-				if n > g.Assoc {
-					return false
-				}
+		}
+		for _, n := range counts {
+			if n > g.Assoc {
+				return false
 			}
 		}
 		return true

@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestAblationMCRegHistory(t *testing.T) {
-	rows, err := AblationMCRegHistory(tiny)
+	rows, err := AblationMCRegHistory(testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -18,7 +18,7 @@ func TestAblationMCRegHistory(t *testing.T) {
 }
 
 func TestAblationResponseAction(t *testing.T) {
-	rows, err := AblationResponseAction(tiny)
+	rows, err := AblationResponseAction(testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestAblationResponseAction(t *testing.T) {
 }
 
 func TestAblationMSHR(t *testing.T) {
-	rows, err := AblationMSHR(tiny)
+	rows, err := AblationMSHR(testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +58,7 @@ func TestAblationMSHR(t *testing.T) {
 }
 
 func TestAblationRegReserve(t *testing.T) {
-	rows, err := AblationRegReserve(tiny)
+	rows, err := AblationRegReserve(testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,19 @@ import (
 // cover those at full scale).
 var tiny = Config{Warmup: 20000, Cycles: 20000, Seed: 1}
 
+// short shrinks the figure loops further for -short runs: still every
+// figure, every policy and every workload, but a minimal measured window.
+var short = Config{Warmup: 6000, Cycles: 6000, Seed: 1}
+
+// testCfg selects the figure-test scale: tiny normally, short under
+// `go test -short` so the whole package finishes in a few seconds.
+func testCfg() Config {
+	if testing.Short() {
+		return short
+	}
+	return tiny
+}
+
 func TestRunAllOrderAndParallelism(t *testing.T) {
 	w2, _ := workload.ByName("2W1")
 	w4, _ := workload.ByName("4W1")
@@ -40,7 +53,7 @@ func TestRunAllPropagatesErrors(t *testing.T) {
 }
 
 func TestFigure2Shape(t *testing.T) {
-	rows, avg, err := Figure2(tiny)
+	rows, avg, err := Figure2(testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +69,7 @@ func TestFigure2Shape(t *testing.T) {
 }
 
 func TestFigure3Shape(t *testing.T) {
-	rows, err := Figure3(tiny)
+	rows, err := Figure3(testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +91,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestFigure4DispersionGrows(t *testing.T) {
-	rows, err := Figure4(tiny)
+	rows, err := Figure4(testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +121,7 @@ func TestFigure4DispersionGrows(t *testing.T) {
 }
 
 func TestFigure5Coverage(t *testing.T) {
-	rows, err := Figure5(tiny)
+	rows, err := Figure5(testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +144,7 @@ func TestFigure5Coverage(t *testing.T) {
 }
 
 func TestFigure8Coverage(t *testing.T) {
-	rows, err := Figure8(tiny)
+	rows, err := Figure8(testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +165,7 @@ func TestFigure8Coverage(t *testing.T) {
 }
 
 func TestFigure11Coverage(t *testing.T) {
-	rows, err := Figure11(tiny)
+	rows, err := Figure11(testCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

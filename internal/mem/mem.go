@@ -49,6 +49,37 @@ type Request struct {
 	L2Hit bool
 	// CompletedAt is the cycle the response reached the core.
 	CompletedAt uint64
+
+	// pooled marks free-list membership (double-put guard).
+	pooled bool
+}
+
+// RequestPool recycles Requests. The pipeline allocates one per L1 miss
+// and the response is its last use, so each core keeps a pool and puts
+// requests back as it consumes responses. Not safe for concurrent use;
+// intended per-core.
+type RequestPool struct {
+	free []*Request
+}
+
+// Get returns a zeroed Request.
+func (p *RequestPool) Get() *Request {
+	if n := len(p.free); n > 0 {
+		r := p.free[n-1]
+		p.free = p.free[:n-1]
+		r.pooled = false
+		return r
+	}
+	return &Request{}
+}
+
+// Put recycles a request whose response has been fully consumed.
+func (p *RequestPool) Put(r *Request) {
+	if r.pooled {
+		panic("mem: double put of request")
+	}
+	*r = Request{pooled: true}
+	p.free = append(p.free, r)
 }
 
 // L2System is the shared L2 cache plus its interconnect and memory
@@ -68,13 +99,26 @@ type L2System struct {
 
 	// missDetected accumulates requests whose L2 tag check missed this
 	// cycle — the non-speculative FLUSH Detection Moment signal.
+	// missSpare is the drained buffer from the previous cycle, swapped
+	// back in so the per-cycle path reuses the two backing arrays.
 	missDetected []*Request
+	missSpare    []*Request
 
 	// Measurements.
 	hitLatency  *stats.Histogram // load-issue to response, L2 hits only
 	missLatency *stats.Histogram
 	counters    stats.Set
 }
+
+// Typed counter IDs for the shared-system events (see stats.CounterID).
+var (
+	cL2Requests = stats.MustRegister("l2.requests")
+	cL2Fills    = stats.MustRegister("l2.fills")
+	cL2Hits     = stats.MustRegister("l2.hits")
+	cL2Misses   = stats.MustRegister("l2.misses")
+	cL2BankOps  = stats.MustRegister("l2.bank_ops")
+	cMemReads   = stats.MustRegister("mem.reads")
+)
 
 type bankOp struct {
 	req  *Request
@@ -117,7 +161,7 @@ func (s *L2System) BankOf(addr uint64) int { return s.l2.BankOf(addr) }
 func (s *L2System) Submit(r *Request, now uint64) {
 	r.EnteredL2At = now
 	r.Bank = s.BankOf(r.Addr)
-	s.counters.Inc("l2.requests", 1)
+	s.counters.Bump(cL2Requests, 1)
 	s.req.Push(now, r)
 }
 
@@ -144,15 +188,15 @@ func (s *L2System) Tick(now uint64) []*Request {
 			switch {
 			case op.fill:
 				s.l2.Fill(op.req.Addr)
-				s.counters.Inc("l2.fills", 1)
+				s.counters.Bump(cL2Fills, 1)
 				s.resp.Push(now, op.req)
 			default:
 				if s.l2.Access(op.req.Addr) {
 					op.req.L2Hit = true
-					s.counters.Inc("l2.hits", 1)
+					s.counters.Bump(cL2Hits, 1)
 					s.resp.Push(now, op.req)
 				} else {
-					s.counters.Inc("l2.misses", 1)
+					s.counters.Bump(cL2Misses, 1)
 					s.missDetected = append(s.missDetected, op.req)
 					s.memPending.push(op.req)
 				}
@@ -166,7 +210,7 @@ func (s *L2System) Tick(now uint64) []*Request {
 				occ = s.cfg.Mem.L2FillOccupancy
 			}
 			bank.doneAt = now + uint64(occ)
-			s.counters.Inc("l2.bank_ops", 1)
+			s.counters.Bump(cL2BankOps, 1)
 		}
 	}
 
@@ -174,7 +218,7 @@ func (s *L2System) Tick(now uint64) []*Request {
 	for i := 0; i < s.memStarts && s.memPending.len() > 0; i++ {
 		r := s.memPending.pop()
 		s.memInFlight.push(timedReq{req: r, doneAt: now + uint64(s.cfg.Mem.MainMemoryLatency)})
-		s.counters.Inc("mem.reads", 1)
+		s.counters.Bump(cMemReads, 1)
 	}
 
 	// 5. Responses arriving at the cores.
@@ -199,7 +243,8 @@ func (s *L2System) Tick(now uint64) []*Request {
 // non-speculative flush policies.
 func (s *L2System) DrainMissDetected() []*Request {
 	out := s.missDetected
-	s.missDetected = nil
+	s.missDetected = s.missSpare[:0]
+	s.missSpare = out
 	return out
 }
 

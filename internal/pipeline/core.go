@@ -24,6 +24,39 @@ const mshrRetryDelay = 4
 // execution latency plus L1 hit time).
 const wheelSize = 64
 
+// Typed counter IDs for every per-cycle-path event (stats.Set.Bump is a
+// dense array add; the string names remain the reporting API).
+var (
+	cFlushResolvedHit      = stats.MustRegister("flush.resolved_hit")
+	cFlushResolvedMiss     = stats.MustRegister("flush.resolved_miss")
+	cCommitBlockedMem      = stats.MustRegister("commit.blocked.mem")
+	cCommitBlockedQueued   = stats.MustRegister("commit.blocked.queued")
+	cCommitBlockedFrontend = stats.MustRegister("commit.blocked.frontend")
+	cCommitBlockedExec     = stats.MustRegister("commit.blocked.exec")
+	cL1DStoreHits          = stats.MustRegister("l1d.store_hits")
+	cL1DStoreMisses        = stats.MustRegister("l1d.store_misses")
+	cBranches              = stats.MustRegister("branches")
+	cMispredicts           = stats.MustRegister("mispredicts")
+	cDTLBMisses            = stats.MustRegister("dtlb.misses")
+	cL1DLoadHits           = stats.MustRegister("l1d.load_hits")
+	cL1DLoadMisses         = stats.MustRegister("l1d.load_misses")
+	cMSHRFullRetries       = stats.MustRegister("mshr.full_retries")
+	cMSHRMerges            = stats.MustRegister("mshr.merges")
+	cRenameBlockedQueue    = stats.MustRegister("rename.blocked.queue")
+	cRenameBlockedROB      = stats.MustRegister("rename.blocked.rob")
+	cRenameBlockedRegs     = stats.MustRegister("rename.blocked.regs")
+	cPolicyStallCycles     = stats.MustRegister("policy.stall_cycles")
+	cPolicyFlushes         = stats.MustRegister("policy.flushes")
+	cFetchBlockedICache    = stats.MustRegister("fetch.blocked.icache")
+	cFetchBlockedStall     = stats.MustRegister("fetch.blocked.stall")
+	cFetchBlockedPolicy    = stats.MustRegister("fetch.blocked.policy")
+	cFetchBlockedFlush     = stats.MustRegister("fetch.blocked.flush")
+	cFetchBlockedFrontQ    = stats.MustRegister("fetch.blocked.frontq")
+	cITLBMisses            = stats.MustRegister("itlb.misses")
+	cL1IMisses             = stats.MustRegister("l1i.misses")
+	cL1IHits               = stats.MustRegister("l1i.hits")
+)
+
 // Core is one SMT core.
 type Core struct {
 	ID  int
@@ -48,12 +81,14 @@ type Core struct {
 	itlb *cache.TLB
 	dtlb *cache.TLB
 	mshr *cache.MSHR
-	// mshrWaiters maps an outstanding line address to the loads blocked
-	// on it (primary + merged).
-	mshrWaiters map[uint64][]*UOp
-	// reqLoad maps in-flight load requests to their policy descriptors
-	// so L2 miss-detection signals can be routed.
-	lineLoads map[uint64][]*policy.LoadInfo
+	// slotWaiters[slot] holds the loads blocked on the line tracked by
+	// MSHR slot (primary + merged); slotLoads[slot] the policy
+	// descriptors of its correct-path loads, for routing L2
+	// miss-detection signals. Indexed by MSHR slot so the per-cycle path
+	// touches no maps; slices are truncated in place when a line
+	// resolves, keeping their capacity.
+	slotWaiters [][]*UOp
+	slotLoads   [][]*policy.LoadInfo
 
 	wheel [wheelSize][]*UOp
 
@@ -66,6 +101,15 @@ type Core struct {
 	stats  stats.Set
 
 	pageBits uint
+
+	// Recycling pools and per-cycle scratch. All per-core (cores are
+	// ticked sequentially within a chip), so no locking is needed.
+	uopFree     []*UOp
+	loadFree    []*policy.LoadInfo
+	reqPool     mem.RequestPool
+	fetchOrder  []int
+	renameBlock []bool
+	replayTmp   []isa.Inst
 }
 
 type delayedSubmit struct {
@@ -82,15 +126,19 @@ type thread struct {
 	// source but not yet consumed by fetch.
 	pending    isa.Inst
 	hasPending bool
-	// replay holds squashed correct-path instructions awaiting refetch,
-	// in program order.
-	replay []isa.Inst
+	// replay[replayHead:] holds squashed correct-path instructions
+	// awaiting refetch, in program order. The head index (instead of
+	// re-slicing) and the spare buffer let both consumption and the
+	// flush-time prepend reuse their backing arrays.
+	replay      []isa.Inst
+	replayHead  int
+	replaySpare []isa.Inst
 
 	seq     uint64
 	icount  int
 	rob     *ring
 	frontQ  *ring
-	regProd [isa.NumArchRegs]*UOp
+	regProd [isa.NumArchRegs]uopRef
 
 	// Fetch blocking conditions.
 	fetchStallUntil   uint64
@@ -137,8 +185,9 @@ func New(id int, cfg *config.Config, pol policy.Policy, l2 *mem.L2System,
 		itlb:        cache.NewTLB(cfg.Mem.TLBEntries),
 		dtlb:        cache.NewTLB(cfg.Mem.TLBEntries),
 		mshr:        cache.NewMSHR(cfg.Core.MSHREntries),
-		mshrWaiters: make(map[uint64][]*UOp),
-		lineLoads:   make(map[uint64][]*policy.LoadInfo),
+		slotWaiters: make([][]*UOp, cfg.Core.MSHREntries),
+		slotLoads:   make([][]*policy.LoadInfo, cfg.Core.MSHREntries),
+		renameBlock: make([]bool, cfg.Core.ThreadsPerCore),
 		pageBits:    pageBits,
 	}
 	c.freePRegs = cfg.Core.PhysRegs - cfg.Core.ThreadsPerCore*isa.NumArchRegs
@@ -184,7 +233,49 @@ func (c *Core) Committed() []uint64 {
 // lineOf returns the cache line address (64B lines throughout).
 func (c *Core) lineOf(addr uint64) uint64 { return addr >> 6 }
 
+// ---- recycling pools ----
+
+// allocUOp takes a uop from the free list, or allocates one.
+func (c *Core) allocUOp() *UOp {
+	if n := len(c.uopFree); n > 0 {
+		u := c.uopFree[n-1]
+		c.uopFree = c.uopFree[:n-1]
+		u.pooled = false
+		return u
+	}
+	return &UOp{}
+}
+
+// freeUOp recycles a dead uop (committed, or squashed and no longer
+// resident in the wheel or MSHR waiter lists). The generation bump
+// invalidates every outstanding uopRef to it. The uop's LoadInfo rides
+// along, except while the thread is still flush-stalled on it.
+func (c *Core) freeUOp(u *UOp) {
+	if u.pooled {
+		panic("pipeline: double free of uop")
+	}
+	if li := u.Load; li != nil && c.threads[u.Tid].flushLoad != li {
+		*li = policy.LoadInfo{}
+		c.loadFree = append(c.loadFree, li)
+	}
+	gen := u.Gen + 1
+	*u = UOp{Gen: gen, pooled: true}
+	c.uopFree = append(c.uopFree, u)
+}
+
+// allocLoadInfo takes a LoadInfo from the free list, or allocates one.
+func (c *Core) allocLoadInfo() *policy.LoadInfo {
+	if n := len(c.loadFree); n > 0 {
+		li := c.loadFree[n-1]
+		c.loadFree = c.loadFree[:n-1]
+		return li
+	}
+	return &policy.LoadInfo{}
+}
+
 // HandleResponse consumes one shared-L2 response addressed to this core.
+// The request is recycled here: every request this core issues comes back
+// exactly once as a response.
 func (c *Core) HandleResponse(r *mem.Request, now uint64) {
 	switch {
 	case r.IsInstr:
@@ -199,12 +290,20 @@ func (c *Core) HandleResponse(r *mem.Request, now uint64) {
 	default:
 		c.l1d.Fill(r.Addr)
 		line := c.lineOf(r.Addr)
-		waiters := c.mshrWaiters[line]
-		delete(c.mshrWaiters, line)
-		delete(c.lineLoads, line)
-		c.mshr.Free(line)
+		entry := c.mshr.Lookup(line)
+		if entry == nil {
+			panic(fmt.Sprintf("pipeline: response for line %#x without MSHR entry", line))
+		}
+		slot := entry.Slot()
+		waiters := c.slotWaiters[slot]
+		c.slotWaiters[slot] = waiters[:0]
+		c.slotLoads[slot] = c.slotLoads[slot][:0]
+		c.mshr.FreeEntry(entry)
 		for _, u := range waiters {
 			if u.Squashed {
+				// The squash deferred recycling until the line
+				// resolved; the uop leaves the waiter list here.
+				c.freeUOp(u)
 				continue
 			}
 			u.WaitingMem = false
@@ -219,14 +318,15 @@ func (c *Core) HandleResponse(r *mem.Request, now uint64) {
 					t.flushStalled = false
 					t.flushLoad = nil
 					if r.L2Hit {
-						c.stats.Inc("flush.resolved_hit", 1) // false miss
+						c.stats.Bump(cFlushResolvedHit, 1) // false miss
 					} else {
-						c.stats.Inc("flush.resolved_miss", 1)
+						c.stats.Bump(cFlushResolvedMiss, 1)
 					}
 				}
 			}
 		}
 	}
+	c.reqPool.Put(r)
 }
 
 // HandleL2MissDetected forwards the non-speculative miss signal to the
@@ -235,7 +335,11 @@ func (c *Core) HandleL2MissDetected(r *mem.Request, now uint64) {
 	if r.IsInstr || r.NoWake {
 		return
 	}
-	for _, li := range c.lineLoads[c.lineOf(r.Addr)] {
+	entry := c.mshr.Lookup(c.lineOf(r.Addr))
+	if entry == nil {
+		return
+	}
+	for _, li := range c.slotLoads[entry.Slot()] {
 		if !li.Resolved {
 			c.pol.OnL2MissDetected(li, now)
 		}
@@ -288,13 +392,13 @@ func (c *Core) commitStage(now uint64) {
 			if !u.Executed {
 				switch {
 				case u.WaitingMem:
-					c.stats.Inc("commit.blocked.mem", 1)
+					c.stats.Bump(cCommitBlockedMem, 1)
 				case u.InQueue:
-					c.stats.Inc("commit.blocked.queued", 1)
+					c.stats.Bump(cCommitBlockedQueued, 1)
 				case !u.Issued:
-					c.stats.Inc("commit.blocked.frontend", 1)
+					c.stats.Bump(cCommitBlockedFrontend, 1)
 				default:
-					c.stats.Inc("commit.blocked.exec", 1)
+					c.stats.Bump(cCommitBlockedExec, 1)
 				}
 				break
 			}
@@ -311,6 +415,11 @@ func (c *Core) commitStage(now uint64) {
 			if u.Inst.Class == isa.ClassStore {
 				c.commitStore(u, now)
 			}
+			// Retirement is the uop's last use; rename-table and source
+			// references that still name it are invalidated by the
+			// generation bump and read as "architectural", exactly as a
+			// committed (Executed) producer did before recycling.
+			c.freeUOp(u)
 		}
 	}
 }
@@ -319,17 +428,17 @@ func (c *Core) commitStage(now uint64) {
 // generate fire-and-forget fill traffic through the shared system.
 func (c *Core) commitStore(u *UOp, now uint64) {
 	if c.l1d.Access(u.Inst.Addr) {
-		c.stats.Inc("l1d.store_hits", 1)
+		c.stats.Bump(cL1DStoreHits, 1)
 		return
 	}
-	c.stats.Inc("l1d.store_misses", 1)
-	c.submitDelayed(&mem.Request{
-		CoreID:   c.ID,
-		ThreadID: u.Tid,
-		Addr:     u.Inst.Addr,
-		NoWake:   true,
-		IssuedAt: now,
-	}, now)
+	c.stats.Bump(cL1DStoreMisses, 1)
+	req := c.reqPool.Get()
+	req.CoreID = c.ID
+	req.ThreadID = u.Tid
+	req.Addr = u.Inst.Addr
+	req.NoWake = true
+	req.IssuedAt = now
+	c.submitDelayed(req, now)
 }
 
 // ---- writeback ----
@@ -339,7 +448,12 @@ func (c *Core) writebackStage(now uint64) {
 	uops := c.wheel[slot]
 	c.wheel[slot] = uops[:0]
 	for _, u := range uops {
+		// Clear wheel residence per uop as it is processed: a branch
+		// earlier in this slot may squash a uop later in it, and that
+		// uop must stay recognisably in-wheel until reached here.
+		u.InWheel = false
 		if u.Squashed {
+			c.freeUOp(u)
 			continue
 		}
 		c.markExecuted(u, now)
@@ -363,10 +477,10 @@ func (c *Core) resolveControl(u *UOp, now uint64) {
 	}
 	c.pred.Resolve(&u.Inst)
 	if u.Inst.Class == isa.ClassBranch {
-		c.stats.Inc("branches", 1)
+		c.stats.Bump(cBranches, 1)
 	}
 	if u.MispredictedBranch {
-		c.stats.Inc("mispredicts", 1)
+		c.stats.Bump(cMispredicts, 1)
 		c.squashYounger(t, u.Seq, false, now)
 		if t.pendingMispredict == u {
 			t.pendingMispredict = nil
@@ -387,51 +501,60 @@ func (c *Core) resolveControl(u *UOp, now uint64) {
 // ---- issue ----
 
 func (c *Core) issueStage(now uint64) {
-	intUnits := c.cfg.Core.IntUnits
-	fpUnits := c.cfg.Core.FPUnits
-	lsUnits := c.cfg.Core.LSUnits
-
-	c.intQ.scan(func(u *UOp) bool {
-		if intUnits == 0 {
-			return false
+	// Direct age-order walks over the queue slots (no per-entry callback):
+	// this loop visits every waiting uop every cycle, so it is the
+	// simulator's single hottest code.
+	units := c.cfg.Core.IntUnits
+	for _, u := range c.intQ.liveFrom() {
+		if units == 0 {
+			break
 		}
-		if c.ready(u, now) {
-			intUnits--
+		if u != nil && c.ready(u, now) {
+			units--
 			c.issueALU(u, now)
 		}
-		return true
-	})
-	c.fpQ.scan(func(u *UOp) bool {
-		if fpUnits == 0 {
-			return false
+	}
+	units = c.cfg.Core.FPUnits
+	for _, u := range c.fpQ.liveFrom() {
+		if units == 0 {
+			break
 		}
-		if c.ready(u, now) {
-			fpUnits--
+		if u != nil && c.ready(u, now) {
+			units--
 			c.issueALU(u, now)
 		}
-		return true
-	})
-	c.lsQ.scan(func(u *UOp) bool {
-		if lsUnits == 0 {
-			return false
+	}
+	units = c.cfg.Core.LSUnits
+	for _, u := range c.lsQ.liveFrom() {
+		if units == 0 {
+			break
 		}
-		if c.ready(u, now) {
-			lsUnits--
+		if u != nil && c.ready(u, now) {
+			units--
 			c.issueMem(u, now)
 		}
-		return true
-	})
+	}
 }
 
 func (c *Core) ready(u *UOp, now uint64) bool {
 	if u.RetryAt > now {
 		return false
 	}
-	if p := u.Src1Prod; p != nil && !p.Executed {
-		return false
+	// A producer observed executed — or recycled, which implies it
+	// executed or squashed together with u — never becomes un-executed
+	// again, so the reference is dropped once satisfied and later checks
+	// skip the pointer chase.
+	if p := u.Src1Prod.u; p != nil {
+		if p.Gen == u.Src1Prod.gen && !p.Executed {
+			return false
+		}
+		u.Src1Prod = uopRef{}
 	}
-	if p := u.Src2Prod; p != nil && !p.Executed {
-		return false
+	if p := u.Src2Prod.u; p != nil {
+		if p.Gen == u.Src2Prod.gen && !p.Executed {
+			return false
+		}
+		u.Src2Prod = uopRef{}
 	}
 	return true
 }
@@ -449,6 +572,7 @@ func (c *Core) issueALU(u *UOp, now uint64) {
 }
 
 func (c *Core) schedule(u *UOp, at uint64) {
+	u.InWheel = true
 	c.wheel[int(at%wheelSize)] = append(c.wheel[int(at%wheelSize)], u)
 }
 
@@ -459,7 +583,7 @@ func (c *Core) issueMem(u *UOp, now uint64) {
 		if !c.dtlb.Access(u.Inst.Addr >> c.pageBits) {
 			u.TLBMissed = true
 			u.RetryAt = now + uint64(c.cfg.Mem.TLBMissLatency)
-			c.stats.Inc("dtlb.misses", 1)
+			c.stats.Bump(cDTLBMisses, 1)
 			return // stays in the queue, retries after the walk
 		}
 	}
@@ -476,7 +600,7 @@ func (c *Core) issueMem(u *UOp, now uint64) {
 	}
 
 	if c.l1d.Access(u.Inst.Addr) {
-		c.stats.Inc("l1d.load_hits", 1)
+		c.stats.Bump(cL1DLoadHits, 1)
 		c.lsQ.remove(u)
 		c.threads[u.Tid].icount--
 		u.Issued = true
@@ -490,42 +614,38 @@ func (c *Core) issueMem(u *UOp, now uint64) {
 	entry, merged, ok := c.mshr.Allocate(line)
 	if !ok {
 		u.RetryAt = now + mshrRetryDelay
-		c.stats.Inc("mshr.full_retries", 1)
+		c.stats.Bump(cMSHRFullRetries, 1)
 		return
 	}
-	_ = entry
-	c.stats.Inc("l1d.load_misses", 1)
+	slot := entry.Slot()
+	c.stats.Bump(cL1DLoadMisses, 1)
 	c.lsQ.remove(u)
 	c.threads[u.Tid].icount--
 	u.Issued = true
 	u.IssuedAt = now
 	u.WaitingMem = true
-	c.mshrWaiters[line] = append(c.mshrWaiters[line], u)
+	c.slotWaiters[slot] = append(c.slotWaiters[slot], u)
 
 	if !merged {
-		req := &mem.Request{
-			CoreID:   c.ID,
-			ThreadID: u.Tid,
-			Addr:     u.Inst.Addr,
-			IssuedAt: now,
-		}
-		u.Req = req
+		req := c.reqPool.Get()
+		req.CoreID = c.ID
+		req.ThreadID = u.Tid
+		req.Addr = u.Inst.Addr
+		req.IssuedAt = now
 		c.submitDelayed(req, now)
 	} else {
-		c.stats.Inc("mshr.merges", 1)
+		c.stats.Bump(cMSHRMerges, 1)
 	}
 
 	if !u.WrongPath {
-		li := &policy.LoadInfo{
-			Tid:      u.Tid,
-			Seq:      u.Seq,
-			IssuedAt: now,
-			Bank:     c.l2.BankOf(u.Inst.Addr),
-			TLBMiss:  u.TLBMissed,
-			Owner:    u,
-		}
+		li := c.allocLoadInfo()
+		li.Tid = u.Tid
+		li.Seq = u.Seq
+		li.IssuedAt = now
+		li.Bank = c.l2.BankOf(u.Inst.Addr)
+		li.TLBMiss = u.TLBMissed
 		u.Load = li
-		c.lineLoads[line] = append(c.lineLoads[line], li)
+		c.slotLoads[slot] = append(c.slotLoads[slot], li)
 		c.pol.OnL1Miss(li, now)
 	}
 }
@@ -536,7 +656,10 @@ func (c *Core) renameStage(now uint64) {
 	budget := c.cfg.Core.RenameWidth
 	n := len(c.threads)
 	start := int(now) % n
-	blocked := make([]bool, n)
+	blocked := c.renameBlock
+	for i := range blocked {
+		blocked[i] = false
+	}
 	for budget > 0 {
 		progressed := false
 		for i := 0; i < n && budget > 0; i++ {
@@ -578,16 +701,16 @@ func (c *Core) queueFor(class isa.Class) *queue {
 func (c *Core) tryRename(t *thread, u *UOp) bool {
 	q := c.queueFor(u.Inst.Class)
 	if !q.hasSpace() {
-		c.stats.Inc("rename.blocked.queue", 1)
+		c.stats.Bump(cRenameBlockedQueue, 1)
 		return false
 	}
 	if t.rob.full() {
-		c.stats.Inc("rename.blocked.rob", 1)
+		c.stats.Bump(cRenameBlockedROB, 1)
 		return false
 	}
 	needsReg := u.Inst.HasDest()
 	if needsReg && (c.freePRegs == 0 || c.heldPRegs[t.id] >= c.pregCap) {
-		c.stats.Inc("rename.blocked.regs", 1)
+		c.stats.Bump(cRenameBlockedRegs, 1)
 		return false
 	}
 	if s := u.Inst.Src1; s != isa.InvalidReg {
@@ -601,7 +724,7 @@ func (c *Core) tryRename(t *thread, u *UOp) bool {
 		c.heldPRegs[t.id]++
 		u.HasPReg = true
 		u.PrevProd = t.regProd[u.Inst.Dest]
-		t.regProd[u.Inst.Dest] = u
+		t.regProd[u.Inst.Dest] = mkRef(u)
 	}
 	q.insert(u)
 	t.rob.push(u)
@@ -619,7 +742,7 @@ func (c *Core) policyStage(now uint64) {
 		case policy.ActStall:
 			if !t.flushStalled {
 				t.policyStalled = true
-				c.stats.Inc("policy.stall_cycles", 1)
+				c.stats.Bump(cPolicyStallCycles, 1)
 			}
 		case policy.ActFlush:
 			if t.flushStalled || d.Load == nil || d.Load.Resolved {
@@ -633,7 +756,7 @@ func (c *Core) policyStage(now uint64) {
 // doFlush applies the FLUSH response action: squash everything younger
 // than the offending load and fetch-stall the thread until it resolves.
 func (c *Core) doFlush(t *thread, li *policy.LoadInfo, now uint64) {
-	c.stats.Inc("policy.flushes", 1)
+	c.stats.Bump(cPolicyFlushes, 1)
 	c.squashYounger(t, li.Seq, true, now)
 	t.flushStalled = true
 	t.flushLoad = li
@@ -648,7 +771,7 @@ func (c *Core) doFlush(t *thread, li *policy.LoadInfo, now uint64) {
 // selects the energy attribution (FLUSH waste vs wrong-path) and whether
 // correct-path instructions are captured for replay.
 func (c *Core) squashYounger(t *thread, afterSeq uint64, forFlush bool, now uint64) {
-	var replayTmp []isa.Inst
+	replayTmp := c.replayTmp[:0]
 
 	// Front-end queue, youngest first.
 	for t.frontQ.len() > 0 && t.frontQ.back().Seq > afterSeq {
@@ -662,13 +785,25 @@ func (c *Core) squashYounger(t *thread, afterSeq uint64, forFlush bool, now uint
 	}
 
 	if len(replayTmp) > 0 {
-		// replayTmp is youngest-first; reverse into program order and
-		// prepend to the existing replay queue.
-		for i, j := 0, len(replayTmp)-1; i < j; i, j = i+1, j-1 {
-			replayTmp[i], replayTmp[j] = replayTmp[j], replayTmp[i]
-		}
-		t.replay = append(replayTmp, t.replay...)
+		t.prependReplay(replayTmp)
 	}
+	c.replayTmp = replayTmp[:0]
+}
+
+// prependReplay pushes squashed instructions (given youngest-first) ahead
+// of the thread's existing replay queue, reversing them into program
+// order. The spare buffer is swapped in so steady-state flushes allocate
+// nothing.
+func (t *thread) prependReplay(tmp []isa.Inst) {
+	rem := t.replay[t.replayHead:]
+	buf := t.replaySpare[:0]
+	for i := len(tmp) - 1; i >= 0; i-- {
+		buf = append(buf, tmp[i])
+	}
+	buf = append(buf, rem...)
+	t.replaySpare = t.replay[:0]
+	t.replay = buf
+	t.replayHead = 0
 }
 
 func (c *Core) undoUop(t *thread, u *UOp, forFlush bool, replay *[]isa.Inst, now uint64) {
@@ -697,7 +832,7 @@ func (c *Core) undoUop(t *thread, u *UOp, forFlush bool, replay *[]isa.Inst, now
 		c.heldPRegs[u.Tid]--
 		u.HasPReg = false
 	}
-	if u.Inst.HasDest() && t.regProd[u.Inst.Dest] == u {
+	if u.Inst.HasDest() && t.regProd[u.Inst.Dest].refersTo(u) {
 		t.regProd[u.Inst.Dest] = u.PrevProd
 	}
 	if li := u.Load; li != nil && !li.Resolved {
@@ -714,16 +849,22 @@ func (c *Core) undoUop(t *thread, u *UOp, forFlush bool, replay *[]isa.Inst, now
 	if forFlush && !u.WrongPath {
 		*replay = append(*replay, u.Inst)
 	}
+	// Recycle now unless the uop is still resident in the wheel or an
+	// MSHR waiter list; those sites recycle it when they drop it.
+	if !u.InWheel && !u.WaitingMem {
+		c.freeUOp(u)
+	}
 }
 
 // ---- fetch ----
 
 func (c *Core) fetchStage(now uint64) {
 	// ICOUNT ordering: fetchable threads by ascending in-flight count.
-	order := make([]int, 0, len(c.threads))
+	order := c.fetchOrder[:0]
 	for i := range c.threads {
 		order = append(order, i)
 	}
+	c.fetchOrder = order
 	for i := 1; i < len(order); i++ { // insertion sort: tiny n, stable
 		for j := i; j > 0; j-- {
 			a, b := c.threads[order[j-1]], c.threads[order[j]]
@@ -756,19 +897,19 @@ func (c *Core) fetchStage(now uint64) {
 func (c *Core) canFetch(t *thread, now uint64) bool {
 	switch {
 	case t.icacheWait != nil:
-		c.stats.Inc("fetch.blocked.icache", 1)
+		c.stats.Bump(cFetchBlockedICache, 1)
 		return false
 	case t.fetchStallUntil > now:
-		c.stats.Inc("fetch.blocked.stall", 1)
+		c.stats.Bump(cFetchBlockedStall, 1)
 		return false
 	case t.policyStalled:
-		c.stats.Inc("fetch.blocked.policy", 1)
+		c.stats.Bump(cFetchBlockedPolicy, 1)
 		return false
 	case t.flushStalled:
-		c.stats.Inc("fetch.blocked.flush", 1)
+		c.stats.Bump(cFetchBlockedFlush, 1)
 		return false
 	case t.frontQ.full():
-		c.stats.Inc("fetch.blocked.frontq", 1)
+		c.stats.Bump(cFetchBlockedFrontQ, 1)
 		return false
 	}
 	return true
@@ -780,8 +921,8 @@ func (t *thread) peekInst() *isa.Inst {
 		t.bb.InstAt(t.wpPC, &t.pending)
 		return &t.pending
 	}
-	if len(t.replay) > 0 {
-		return &t.replay[0]
+	if t.replayHead < len(t.replay) {
+		return &t.replay[t.replayHead]
 	}
 	if !t.hasPending {
 		t.src.Next(&t.pending)
@@ -796,8 +937,13 @@ func (t *thread) consumeInst() {
 		t.wpPC += 4
 		return
 	}
-	if len(t.replay) > 0 {
-		t.replay = t.replay[1:]
+	if t.replayHead < len(t.replay) {
+		t.replayHead++
+		if t.replayHead == len(t.replay) {
+			// Drained: rewind so the buffer capacity is reused.
+			t.replay = t.replay[:0]
+			t.replayHead = 0
+		}
 		return
 	}
 	t.hasPending = false
@@ -812,34 +958,32 @@ func (c *Core) fetchThread(t *thread, now uint64, max int) int {
 		line := in.PC >> 6
 		if line != t.lastFetchLine {
 			if !c.itlb.Access(in.PC >> c.pageBits) {
-				c.stats.Inc("itlb.misses", 1)
+				c.stats.Bump(cITLBMisses, 1)
 				t.fetchStallUntil = now + uint64(c.cfg.Mem.TLBMissLatency)
 				return fetched
 			}
 			if !c.l1i.Access(in.PC) {
-				c.stats.Inc("l1i.misses", 1)
-				req := &mem.Request{
-					CoreID:   c.ID,
-					ThreadID: t.id,
-					Addr:     in.PC,
-					IsInstr:  true,
-					IssuedAt: now,
-				}
+				c.stats.Bump(cL1IMisses, 1)
+				req := c.reqPool.Get()
+				req.CoreID = c.ID
+				req.ThreadID = t.id
+				req.Addr = in.PC
+				req.IsInstr = true
+				req.IssuedAt = now
 				t.icacheWait = req
 				c.submitDelayed(req, now)
 				return fetched
 			}
-			c.stats.Inc("l1i.hits", 1)
+			c.stats.Bump(cL1IHits, 1)
 			t.lastFetchLine = line
 		}
 
-		u := &UOp{
-			Inst:          *in,
-			Tid:           t.id,
-			WrongPath:     t.wrongPath,
-			FetchedAt:     now,
-			RenameReadyAt: now + uint64(c.cfg.Core.FrontEndStages),
-		}
+		u := c.allocUOp()
+		u.Inst = *in
+		u.Tid = t.id
+		u.WrongPath = t.wrongPath
+		u.FetchedAt = now
+		u.RenameReadyAt = now + uint64(c.cfg.Core.FrontEndStages)
 		t.consumeInst()
 		t.seq++
 		u.Seq = t.seq
@@ -944,9 +1088,15 @@ func (c *Core) CheckInvariants() error {
 			return fmt.Errorf("pipeline: %d squashed uops resident in an issue queue", n)
 		}
 	}
-	if c.mshr.InUse() != len(c.mshrWaiters) {
+	waiterLines := 0
+	for _, ws := range c.slotWaiters {
+		if len(ws) > 0 {
+			waiterLines++
+		}
+	}
+	if c.mshr.InUse() != waiterLines {
 		return fmt.Errorf("pipeline: MSHR in use %d != waiter lines %d",
-			c.mshr.InUse(), len(c.mshrWaiters))
+			c.mshr.InUse(), waiterLines)
 	}
 	return nil
 }

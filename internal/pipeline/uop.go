@@ -7,17 +7,21 @@ package pipeline
 import (
 	"repro/internal/energy"
 	"repro/internal/isa"
-	"repro/internal/mem"
 	"repro/internal/policy"
 )
 
-// UOp is one in-flight dynamic instruction.
+// UOp is one in-flight dynamic instruction. UOps are recycled through a
+// per-core free list: Gen is bumped every time a uop is released, so a
+// uopRef captured while it was live can detect that it now names a
+// different (or pooled) instruction.
 type UOp struct {
 	Inst isa.Inst
 	// Tid is the core-local hardware context.
 	Tid int
 	// Seq is the per-thread fetch order; squashes are "younger than".
 	Seq uint64
+	// Gen is the recycling generation; see uopRef.
+	Gen uint32
 	// WrongPath marks instructions fetched past an unresolved
 	// mispredicted branch: they execute but never commit.
 	WrongPath bool
@@ -27,16 +31,24 @@ type UOp struct {
 	FetchedAt     uint64
 	RenameReadyAt uint64
 
-	// Src1Prod/Src2Prod point at the most recent producers of the
-	// source registers at rename time (nil: value already architectural).
-	Src1Prod, Src2Prod *UOp
+	// Src1Prod/Src2Prod reference the most recent producers of the
+	// source registers at rename time (dead ref: value architectural).
+	Src1Prod, Src2Prod uopRef
 	// PrevProd restores the rename table if this uop is squashed.
-	PrevProd *UOp
+	PrevProd uopRef
 
 	// Resource ownership flags (see core.go squash/commit for the
 	// conservation rules).
 	HasPReg bool
 	InQueue bool
+	// InWheel marks residence in the execution-completion wheel; a
+	// squashed uop still in the wheel is recycled at writeback, not at
+	// squash time.
+	InWheel bool
+	// pooled marks membership in the free list (double-free guard).
+	pooled bool
+	// qIdx is the uop's slot in its issue queue while InQueue.
+	qIdx int32
 
 	Issued   bool
 	IssuedAt uint64
@@ -58,10 +70,32 @@ type UOp struct {
 	// Load is the policy-visible descriptor, present only for
 	// correct-path loads that missed the L1 data cache.
 	Load *policy.LoadInfo
-	// Req is the shared-L2 request this uop is waiting on (primary
-	// misses only; merged loads wait on the primary's line).
-	Req *mem.Request
 }
+
+// uopRef is a generation-validated reference to a producer uop. The
+// pipeline frees uops at commit while rename-table entries and dependant
+// source references may still name them; the generation check turns such
+// stale references into "architectural" (nil), which is exactly the old
+// semantics — a committed producer was always Executed.
+type uopRef struct {
+	u   *UOp
+	gen uint32
+}
+
+// mkRef captures a reference to a live uop.
+func mkRef(u *UOp) uopRef { return uopRef{u: u, gen: u.Gen} }
+
+// live returns the referenced uop if it has not been recycled since the
+// reference was taken, else nil.
+func (r uopRef) live() *UOp {
+	if r.u != nil && r.u.Gen == r.gen {
+		return r.u
+	}
+	return nil
+}
+
+// refersTo reports whether r still references the live uop u.
+func (r uopRef) refersTo(u *UOp) bool { return r.u == u && r.gen == u.Gen }
 
 // StageAt classifies the uop's pipeline position for energy accounting.
 // frontStages is the configured front-end depth.
@@ -109,11 +143,21 @@ func newRing(capacity int) *ring {
 func (r *ring) len() int   { return r.size }
 func (r *ring) full() bool { return r.size == len(r.buf) }
 
+// wrap folds an index in [0, 2*len) back into range: the ring is hot
+// enough that an integer divide per access is measurable, and all callers
+// produce offsets below twice the capacity.
+func (r *ring) wrap(i int) int {
+	if i >= len(r.buf) {
+		i -= len(r.buf)
+	}
+	return i
+}
+
 func (r *ring) push(u *UOp) {
 	if r.full() {
 		panic("pipeline: ring overflow")
 	}
-	r.buf[(r.head+r.size)%len(r.buf)] = u
+	r.buf[r.wrap(r.head+r.size)] = u
 	r.size++
 }
 
@@ -130,7 +174,7 @@ func (r *ring) popFront() *UOp {
 		panic("pipeline: pop from empty ring")
 	}
 	r.buf[r.head] = nil
-	r.head = (r.head + 1) % len(r.buf)
+	r.head = r.wrap(r.head + 1)
 	r.size--
 	return u
 }
@@ -139,7 +183,7 @@ func (r *ring) back() *UOp {
 	if r.size == 0 {
 		return nil
 	}
-	return r.buf[(r.head+r.size-1)%len(r.buf)]
+	return r.buf[r.wrap(r.head+r.size-1)]
 }
 
 func (r *ring) popBack() *UOp {
@@ -147,7 +191,7 @@ func (r *ring) popBack() *UOp {
 	if u == nil {
 		panic("pipeline: pop from empty ring")
 	}
-	r.buf[(r.head+r.size-1)%len(r.buf)] = nil
+	r.buf[r.wrap(r.head+r.size-1)] = nil
 	r.size--
 	return u
 }
@@ -157,15 +201,27 @@ func (r *ring) at(i int) *UOp {
 	if i < 0 || i >= r.size {
 		panic("pipeline: ring index out of range")
 	}
-	return r.buf[(r.head+i)%len(r.buf)]
+	return r.buf[r.wrap(r.head+i)]
 }
 
 // queue is a shared issue queue: a bounded collection preserving age
 // order, with O(1) free-slot tracking and mid-queue removal by nil-ing.
+// head is a lazily advanced index of the first possibly-live slot, so
+// per-cycle walks skip the nil prefix left by issued/squashed uops.
 type queue struct {
 	slots []*UOp
 	count int
 	cap   int
+	head  int
+}
+
+// liveFrom advances head past leading nils and returns the live window.
+// Slots inside the window may still be nil (mid-queue removals).
+func (q *queue) liveFrom() []*UOp {
+	for q.head < len(q.slots) && q.slots[q.head] == nil {
+		q.head++
+	}
+	return q.slots[q.head:]
 }
 
 func newQueue(capacity int) *queue {
@@ -185,27 +241,29 @@ func (q *queue) insert(u *UOp) {
 		live := q.slots[:0]
 		for _, s := range q.slots {
 			if s != nil {
+				s.qIdx = int32(len(live))
 				live = append(live, s)
 			}
 		}
 		q.slots = live
+		q.head = 0
 	}
+	u.qIdx = int32(len(q.slots))
 	q.slots = append(q.slots, u)
 	q.count++
 	u.InQueue = true
 }
 
-// remove drops u from the queue (issue or squash).
+// remove drops u from the queue (issue or squash) in O(1) via the slot
+// index recorded at insert.
 func (q *queue) remove(u *UOp) {
-	for i, s := range q.slots {
-		if s == u {
-			q.slots[i] = nil
-			q.count--
-			u.InQueue = false
-			return
-		}
+	i := int(u.qIdx)
+	if !u.InQueue || i < 0 || i >= len(q.slots) || q.slots[i] != u {
+		panic("pipeline: removing uop not in queue")
 	}
-	panic("pipeline: removing uop not in queue")
+	q.slots[i] = nil
+	q.count--
+	u.InQueue = false
 }
 
 // scan calls f on each entry in age order until f returns false.

@@ -38,8 +38,6 @@ type LoadInfo struct {
 	Resolved   bool
 	ResolvedAt uint64
 	L2Hit      bool
-	// Owner is an opaque back-reference for the pipeline (its µop).
-	Owner any
 }
 
 // Elapsed returns the cycles the load has been outstanding at cycle now.

@@ -211,6 +211,28 @@ func Run(opt Options) (*Result, error) {
 	if opt.Cycles == 0 {
 		return nil, fmt.Errorf("sim: zero cycle budget")
 	}
+	chip, err := buildChip(opt)
+	if err != nil {
+		return nil, err
+	}
+
+	if opt.Warmup > 0 {
+		chip.Run(opt.Warmup)
+		for _, c := range chip.Cores() {
+			c.ResetMeasurement()
+		}
+		chip.L2().ResetStats()
+	}
+	chip.Run(opt.Cycles)
+
+	return collect(chip, opt)
+}
+
+// buildChip assembles the machine, workload sources and policies for one
+// run, including functional L2 pre-warming. Split from Run so tests can
+// measure the cycle loop (allocations, throughput) apart from
+// construction.
+func buildChip(opt Options) (*cmp.Chip, error) {
 	cores := opt.Cores
 	if cores == 0 {
 		if len(opt.ThreadTraces) > 0 {
@@ -289,17 +311,7 @@ func Run(opt Options) (*Result, error) {
 	if len(profiles) > 0 {
 		prewarmL2(chip, profiles, bases)
 	}
-
-	if opt.Warmup > 0 {
-		chip.Run(opt.Warmup)
-		for _, c := range chip.Cores() {
-			c.ResetMeasurement()
-		}
-		chip.L2().ResetStats()
-	}
-	chip.Run(opt.Cycles)
-
-	return collect(chip, opt)
+	return chip, nil
 }
 
 // prewarmL2 functionally warms the shared L2 with each thread's data

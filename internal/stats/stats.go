@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Histogram accumulates integer samples (cycle latencies) into exact
@@ -166,15 +167,88 @@ type Counter struct {
 	Value uint64
 }
 
-// Set is an ordered collection of named counters. The zero value is ready
-// to use.
+// CounterID is a dense index into a Set's typed counter array. IDs are
+// allocated by MustRegister; Bump(id, delta) is a bounds-checked array add,
+// so per-cycle simulator code pays no string hashing.
+type CounterID int32
+
+var (
+	registryMu    sync.RWMutex
+	registryNames []string
+	registryIDs   = make(map[string]CounterID)
+)
+
+// MustRegister allocates (or returns the existing) CounterID for name.
+// Registration normally runs from package-level var initialisers, but the
+// registry is fully locked so late registration (tests, new subsystems)
+// stays safe alongside concurrent simulations.
+func MustRegister(name string) CounterID {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if id, ok := registryIDs[name]; ok {
+		return id
+	}
+	id := CounterID(len(registryNames))
+	registryNames = append(registryNames, name)
+	registryIDs[name] = id
+	return id
+}
+
+// idOf resolves a registered name under the read lock. Only the name-based
+// API pays this; Bump never touches the registry once the array is grown.
+func idOf(name string) (CounterID, bool) {
+	registryMu.RLock()
+	id, ok := registryIDs[name]
+	registryMu.RUnlock()
+	return id, ok
+}
+
+// nameOf returns the registered name for id.
+func nameOf(id int) string {
+	registryMu.RLock()
+	n := registryNames[id]
+	registryMu.RUnlock()
+	return n
+}
+
+// Set is a collection of named counters. The zero value is ready to use.
+// Counters registered through MustRegister live in a dense array indexed
+// by CounterID; names incremented only through Inc fall back to a map, so
+// the name-based reporting API keeps working for ad-hoc counters.
 type Set struct {
+	dense []uint64
 	order []string
 	vals  map[string]uint64
 }
 
+// Bump adds delta to the registered counter. This is the hot-path
+// increment: one bounds check and one add once the array is grown.
+func (s *Set) Bump(id CounterID, delta uint64) {
+	if int(id) >= len(s.dense) {
+		s.growDense()
+	}
+	s.dense[id] += delta
+}
+
+// growDense sizes the dense array to the current registry. Out-of-line so
+// Bump stays inlinable.
+func (s *Set) growDense() {
+	registryMu.RLock()
+	n := len(registryNames)
+	registryMu.RUnlock()
+	grown := make([]uint64, n)
+	copy(grown, s.dense)
+	s.dense = grown
+}
+
 // Inc adds delta to the named counter, creating it on first use.
+// Registered names route to their dense slot; Inc(name) and Bump(id) of
+// the same counter are interchangeable.
 func (s *Set) Inc(name string, delta uint64) {
+	if id, ok := idOf(name); ok {
+		s.Bump(id, delta)
+		return
+	}
 	if s.vals == nil {
 		s.vals = make(map[string]uint64)
 	}
@@ -185,11 +259,25 @@ func (s *Set) Inc(name string, delta uint64) {
 }
 
 // Get returns the counter value (zero if never incremented).
-func (s *Set) Get(name string) uint64 { return s.vals[name] }
+func (s *Set) Get(name string) uint64 {
+	if id, ok := idOf(name); ok {
+		if int(id) < len(s.dense) {
+			return s.dense[id]
+		}
+		return 0
+	}
+	return s.vals[name]
+}
 
-// All returns the counters in insertion order.
+// All returns the counters: registered counters with non-zero values in
+// registration order, then ad-hoc counters in insertion order.
 func (s *Set) All() []Counter {
-	out := make([]Counter, 0, len(s.order))
+	out := make([]Counter, 0, len(s.dense)+len(s.order))
+	for id, v := range s.dense {
+		if v != 0 {
+			out = append(out, Counter{Name: nameOf(id), Value: v})
+		}
+	}
 	for _, n := range s.order {
 		out = append(out, Counter{Name: n, Value: s.vals[n]})
 	}
@@ -198,6 +286,12 @@ func (s *Set) All() []Counter {
 
 // Merge adds all counters from other into s.
 func (s *Set) Merge(other *Set) {
+	if len(other.dense) > len(s.dense) {
+		s.growDense()
+	}
+	for id, v := range other.dense {
+		s.dense[id] += v
+	}
 	for _, n := range other.order {
 		s.Inc(n, other.vals[n])
 	}
@@ -205,12 +299,11 @@ func (s *Set) Merge(other *Set) {
 
 // String renders "name=value" pairs sorted by name, for stable test output.
 func (s *Set) String() string {
-	names := make([]string, len(s.order))
-	copy(names, s.order)
-	sort.Strings(names)
-	parts := make([]string, 0, len(names))
-	for _, n := range names {
-		parts = append(parts, fmt.Sprintf("%s=%d", n, s.vals[n]))
+	all := s.All()
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	parts := make([]string, 0, len(all))
+	for _, c := range all {
+		parts = append(parts, fmt.Sprintf("%s=%d", c.Name, c.Value))
 	}
 	return strings.Join(parts, " ")
 }

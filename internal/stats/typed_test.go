@@ -1,0 +1,78 @@
+package stats
+
+import "testing"
+
+// Test-local registered counters. Registration is global and permanent,
+// so these names are namespaced to the test.
+var (
+	tidA = MustRegister("test.typed.a")
+	tidB = MustRegister("test.typed.b")
+)
+
+func TestMustRegisterIdempotent(t *testing.T) {
+	if again := MustRegister("test.typed.a"); again != tidA {
+		t.Fatalf("re-registration returned %d, want %d", again, tidA)
+	}
+	if tidA == tidB {
+		t.Fatal("distinct names share an ID")
+	}
+}
+
+func TestBumpAndIncInterchangeable(t *testing.T) {
+	var s Set
+	s.Bump(tidA, 3)
+	s.Inc("test.typed.a", 2) // registered name routes to the same slot
+	if got := s.Get("test.typed.a"); got != 5 {
+		t.Fatalf("Get = %d, want 5", got)
+	}
+	s.Inc("test.typed.adhoc", 7) // unregistered names still work
+	if got := s.Get("test.typed.adhoc"); got != 7 {
+		t.Fatalf("ad-hoc Get = %d, want 7", got)
+	}
+}
+
+func TestTypedMerge(t *testing.T) {
+	var a, b Set
+	a.Bump(tidA, 1)
+	b.Bump(tidA, 2)
+	b.Bump(tidB, 4)
+	b.Inc("test.typed.adhoc", 8)
+	a.Merge(&b)
+	if got := a.Get("test.typed.a"); got != 3 {
+		t.Fatalf("merged a = %d, want 3", got)
+	}
+	if got := a.Get("test.typed.b"); got != 4 {
+		t.Fatalf("merged b = %d, want 4", got)
+	}
+	if got := a.Get("test.typed.adhoc"); got != 8 {
+		t.Fatalf("merged ad-hoc = %d, want 8", got)
+	}
+}
+
+func TestAllSkipsZeroRegistered(t *testing.T) {
+	var s Set
+	s.Bump(tidA, 0) // grows the dense array but records nothing
+	s.Bump(tidB, 9)
+	for _, c := range s.All() {
+		if c.Name == "test.typed.a" {
+			t.Fatal("zero-valued registered counter reported")
+		}
+	}
+	found := false
+	for _, c := range s.All() {
+		if c.Name == "test.typed.b" && c.Value == 9 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("non-zero registered counter missing from All()")
+	}
+}
+
+func TestZeroValueSetBump(t *testing.T) {
+	var s Set
+	s.Bump(tidB, 1) // must not panic on the zero value
+	if got := s.Get("test.typed.b"); got != 1 {
+		t.Fatalf("Get = %d, want 1", got)
+	}
+}
