@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test shorttest vet bench bench-throughput
+.PHONY: build test shorttest racetest vet bench bench-throughput
 
 build:
 	$(GO) build ./...
@@ -10,6 +10,10 @@ test:
 
 shorttest:
 	$(GO) test -short ./...
+
+# Race-checks the campaign scheduler's concurrency (mirrors the CI job).
+racetest:
+	$(GO) test -race -short ./...
 
 vet:
 	$(GO) vet ./...

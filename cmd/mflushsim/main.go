@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mflushsim -workload 2W3 -policy MFLUSH [-cycles N] [-warmup N] [-seed N] [-cores N] [-v]
+//	mflushsim -workload 2W3 -policy MFLUSH [-cycles N] [-warmup N] [-seed N] [-cores N] [-name S] [-v]
 //
 // Policies: ICOUNT, FLUSH-S<delay>, FLUSH-NS, STALL-S<delay>, MFLUSH,
 // MFLUSH-H<depth>.
@@ -15,7 +15,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 	"text/tabwriter"
 
@@ -35,6 +34,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print all event counters")
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	traces := flag.String("traces", "", "comma-separated trace files (from tracegen) to replay instead of -workload")
+	name := flag.String("name", "", "workload name to report (replayed traces otherwise report replay-N)")
 	flag.Parse()
 
 	var w workload.Workload
@@ -65,14 +65,14 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	spec, err := parsePolicy(*pol)
+	spec, err := sim.ParseSpec(*pol)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mflushsim: %v\n", err)
 		os.Exit(2)
 	}
 
 	res, err := sim.Run(sim.Options{
-		Workload: w, Policy: spec,
+		Workload: w, Policy: spec, Name: *name,
 		Cycles: *cycles, Warmup: *warmup, Seed: *seed, Cores: *cores,
 		ThreadTraces: threadTraces,
 	})
@@ -122,37 +122,5 @@ func main() {
 			fmt.Fprintf(tw, "  %s\t%d\n", c.Name, c.Value)
 		}
 		tw.Flush()
-	}
-}
-
-func parsePolicy(s string) (sim.PolicySpec, error) {
-	u := strings.ToUpper(strings.TrimSpace(s))
-	switch {
-	case u == "ICOUNT":
-		return sim.SpecICOUNT, nil
-	case u == "FLUSH-NS" || u == "FL-NS":
-		return sim.SpecFlushNS, nil
-	case u == "MFLUSH":
-		return sim.SpecMFLUSH, nil
-	case strings.HasPrefix(u, "MFLUSH-H"):
-		n, err := strconv.Atoi(u[len("MFLUSH-H"):])
-		if err != nil || n < 1 {
-			return sim.PolicySpec{}, fmt.Errorf("bad MFLUSH history depth in %q", s)
-		}
-		return sim.PolicySpec{Kind: sim.MFLUSH, History: n}, nil
-	case strings.HasPrefix(u, "FLUSH-S") || strings.HasPrefix(u, "FL-S"):
-		n, err := strconv.Atoi(u[strings.Index(u, "-S")+2:])
-		if err != nil || n < 1 {
-			return sim.PolicySpec{}, fmt.Errorf("bad FLUSH trigger in %q", s)
-		}
-		return sim.SpecFlushS(n), nil
-	case strings.HasPrefix(u, "STALL-S"):
-		n, err := strconv.Atoi(u[len("STALL-S"):])
-		if err != nil || n < 1 {
-			return sim.PolicySpec{}, fmt.Errorf("bad STALL trigger in %q", s)
-		}
-		return sim.SpecStallS(n), nil
-	default:
-		return sim.PolicySpec{}, fmt.Errorf("unknown policy %q (ICOUNT, FLUSH-S<n>, FLUSH-NS, STALL-S<n>, MFLUSH, MFLUSH-H<n>)", s)
 	}
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBuildSpecFromFlags(t *testing.T) {
+	spec, err := buildSpec("", "2W1, 2W3", "ICOUNT,MFLUSH", "1,2,3", 5000, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Workloads) != 2 || len(spec.Policies) != 2 || len(spec.Seeds) != 3 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	if spec.Cycles != 5000 || spec.Warmup != 2000 {
+		t.Fatalf("budgets = %d/%d", spec.Cycles, spec.Warmup)
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 12 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+}
+
+func TestBuildSpecFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(path, []byte(`{
+		"workloads": ["4W1"], "policies": ["FLUSH-S30"],
+		"seeds": [7], "cycles": 1000, "warmup": 500,
+		"tweaks": [{"name": "slow-mem", "main_memory_latency": 500}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := buildSpec(path, "", "", "1", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Tweaks) != 1 || spec.Tweaks[0].Name != "slow-mem" || spec.Seeds[0] != 7 {
+		t.Fatalf("spec = %+v", spec)
+	}
+}
+
+func TestBuildSpecErrors(t *testing.T) {
+	if _, err := buildSpec("", "", "", "1", 100, 0); err == nil {
+		t.Fatal("empty grid accepted")
+	}
+	if _, err := buildSpec("", "2W1", "ICOUNT", "x", 100, 0); err == nil {
+		t.Fatal("bad seed accepted")
+	}
+	if _, err := buildSpec(filepath.Join(t.TempDir(), "missing.json"), "", "", "1", 0, 0); err == nil {
+		t.Fatal("missing spec file accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/report"
+	"repro/internal/stats"
+)
+
+// Dist summarises one metric across the seeds of a cell.
+type Dist struct {
+	Mean float64 `json:"mean"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+	// CI95 is the half-width of the 95% confidence interval of the mean
+	// (Student-t); zero when the cell has fewer than two seeds.
+	CI95 float64 `json:"ci95"`
+}
+
+func newDist(xs []float64) Dist {
+	d := Dist{Mean: stats.Mean(xs), CI95: stats.CI95(xs)}
+	for i, x := range xs {
+		if i == 0 || x < d.Min {
+			d.Min = x
+		}
+		if i == 0 || x > d.Max {
+			d.Max = x
+		}
+	}
+	return d
+}
+
+// Cell is one (workload, policy, tweak) point of a campaign with its
+// metrics aggregated across seeds.
+type Cell struct {
+	Workload string `json:"workload"`
+	Policy   string `json:"policy"`
+	Tweak    string `json:"tweak"`
+	Seeds    int    `json:"seeds"`
+	IPC      Dist   `json:"ipc"`
+	Wasted   Dist   `json:"wasted_energy"`
+	Flushes  Dist   `json:"flushes"`
+}
+
+// Aggregate groups records into (workload, policy, tweak) cells in
+// first-appearance order — which is job order when the records come
+// from Scheduler.Run, so aggregate output is identical whether the
+// campaign ran straight through or resumed.
+func Aggregate(recs []Record) []Cell {
+	type group struct {
+		cell                 Cell
+		ipc, wasted, flushes []float64
+	}
+	var order []string
+	groups := make(map[string]*group)
+	for _, r := range recs {
+		k := r.Workload + "\x00" + r.Policy + "\x00" + r.Tweak
+		g := groups[k]
+		if g == nil {
+			g = &group{cell: Cell{Workload: r.Workload, Policy: r.Policy, Tweak: r.Tweak}}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.ipc = append(g.ipc, r.Summary.IPC)
+		g.wasted = append(g.wasted, r.Summary.WastedEnergy)
+		g.flushes = append(g.flushes, float64(r.Summary.Flushes))
+	}
+	cells := make([]Cell, 0, len(order))
+	for _, k := range order {
+		g := groups[k]
+		c := g.cell
+		c.Seeds = len(g.ipc)
+		c.IPC = newDist(g.ipc)
+		c.Wasted = newDist(g.wasted)
+		c.Flushes = newDist(g.flushes)
+		cells = append(cells, c)
+	}
+	return cells
+}
+
+// Table renders cells as an aligned text table (three-decimal floats).
+func Table(cells []Cell) *report.Table {
+	t := report.NewTable("workload", "policy", "tweak", "seeds",
+		"ipc", "ci95", "min", "max", "wasted", "flushes")
+	for _, c := range cells {
+		t.Row(c.Workload, c.Policy, c.Tweak, c.Seeds,
+			c.IPC.Mean, c.IPC.CI95, c.IPC.Min, c.IPC.Max,
+			c.Wasted.Mean, c.Flushes.Mean)
+	}
+	return t
+}
+
+// WriteCSV exports cells at full float precision, one row per cell.
+func WriteCSV(w io.Writer, cells []Cell) error {
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	t := report.NewTable("workload", "policy", "tweak", "seeds",
+		"ipc_mean", "ipc_ci95", "ipc_min", "ipc_max",
+		"wasted_mean", "wasted_ci95", "flushes_mean", "flushes_ci95")
+	for _, c := range cells {
+		t.RowF(c.Workload, c.Policy, c.Tweak, fmt.Sprint(c.Seeds),
+			g(c.IPC.Mean), g(c.IPC.CI95), g(c.IPC.Min), g(c.IPC.Max),
+			g(c.Wasted.Mean), g(c.Wasted.CI95), g(c.Flushes.Mean), g(c.Flushes.CI95))
+	}
+	return t.WriteCSV(w)
+}
+
+// WriteJSON exports cells as indented JSON.
+func WriteJSON(w io.Writer, cells []Cell) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cells)
+}

@@ -1,0 +1,116 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestAggregateCells(t *testing.T) {
+	recs := []Record{
+		testRecord("a1", "2W1", "ICOUNT", 1, 1.0),
+		testRecord("a2", "2W1", "ICOUNT", 2, 2.0),
+		testRecord("a3", "2W1", "ICOUNT", 3, 3.0),
+		testRecord("b1", "2W1", "MFLUSH", 1, 4.0),
+	}
+	cells := Aggregate(recs)
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	c := cells[0]
+	if c.Workload != "2W1" || c.Policy != "ICOUNT" || c.Seeds != 3 {
+		t.Fatalf("cell identity: %+v", c)
+	}
+	if c.IPC.Mean != 2.0 || c.IPC.Min != 1.0 || c.IPC.Max != 3.0 {
+		t.Fatalf("IPC dist: %+v", c.IPC)
+	}
+	// 3 seeds with s=1: CI = 4.303/sqrt(3) ~ 2.484.
+	if c.IPC.CI95 < 2.48 || c.IPC.CI95 > 2.49 {
+		t.Fatalf("CI95 = %v", c.IPC.CI95)
+	}
+	if cells[1].Seeds != 1 || cells[1].IPC.CI95 != 0 {
+		t.Fatalf("single-seed cell: %+v", cells[1])
+	}
+}
+
+func TestAggregateSeparatesTweaks(t *testing.T) {
+	a := testRecord("a", "2W1", "MFLUSH", 1, 1.0)
+	b := testRecord("b", "2W1", "MFLUSH", 1, 2.0)
+	b.Tweak = "small-mshr"
+	cells := Aggregate([]Record{a, b})
+	if len(cells) != 2 || cells[0].Tweak == cells[1].Tweak {
+		t.Fatalf("tweaks merged: %+v", cells)
+	}
+}
+
+func TestExportShapes(t *testing.T) {
+	cells := Aggregate([]Record{
+		testRecord("a1", "2W1", "ICOUNT", 1, 1.25),
+		testRecord("a2", "2W1", "ICOUNT", 2, 1.75),
+	})
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, cells); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), csv.String())
+	}
+	if !strings.HasPrefix(lines[0], "workload,policy,tweak,seeds,ipc_mean") {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "2W1,ICOUNT,baseline,2,1.5,") {
+		t.Fatalf("CSV row = %q", lines[1])
+	}
+
+	var js bytes.Buffer
+	if err := WriteJSON(&js, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"ipc"`) || !strings.Contains(js.String(), `"ci95"`) {
+		t.Fatalf("JSON missing fields:\n%s", js.String())
+	}
+
+	tbl := Table(cells).String()
+	if !strings.Contains(tbl, "2W1") || !strings.Contains(tbl, "1.500") {
+		t.Fatalf("table:\n%s", tbl)
+	}
+}
+
+// TestMultiSeedSweepReportsCI is the acceptance check: a real >= 3-seed
+// sweep produces a mean and a positive confidence interval per cell
+// (different seeds synthesise different instruction streams, so IPC
+// genuinely varies).
+func TestMultiSeedSweepReportsCI(t *testing.T) {
+	jobs, err := Spec{
+		Workloads: []string{"2W1"},
+		Policies:  []string{"ICOUNT"},
+		Seeds:     []uint64{1, 2, 3},
+		Cycles:    3000, Warmup: 3000,
+	}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := (&Scheduler{}).Run(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := Aggregate(recs)
+	if len(cells) != 1 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	c := cells[0]
+	if c.Seeds != 3 {
+		t.Fatalf("seeds = %d", c.Seeds)
+	}
+	if c.IPC.Mean <= 0 {
+		t.Fatalf("mean IPC = %v", c.IPC.Mean)
+	}
+	if c.IPC.CI95 <= 0 {
+		t.Fatalf("CI95 = %v, want positive across distinct seeds", c.IPC.CI95)
+	}
+	if c.IPC.Min > c.IPC.Mean || c.IPC.Mean > c.IPC.Max {
+		t.Fatalf("dist out of order: %+v", c.IPC)
+	}
+}

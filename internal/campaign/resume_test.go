@@ -1,0 +1,174 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// resumeSpec is a small real-simulator campaign: 2 policies x 3 seeds.
+func resumeSpec() Spec {
+	return Spec{
+		Workloads: []string{"2W1"},
+		Policies:  []string{"ICOUNT", "MFLUSH"},
+		Seeds:     []uint64{1, 2, 3},
+		Cycles:    3000, Warmup: 3000,
+	}
+}
+
+// countingRunner wraps sim.Run, counting invocations.
+func countingRunner(n *int64) func(sim.Options) (*sim.Result, error) {
+	return func(o sim.Options) (*sim.Result, error) {
+		atomic.AddInt64(n, 1)
+		return sim.Run(o)
+	}
+}
+
+func exportAll(t *testing.T, recs []Record) (csv, js []byte) {
+	t.Helper()
+	cells := Aggregate(recs)
+	var c, j bytes.Buffer
+	if err := WriteCSV(&c, cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&j, cells); err != nil {
+		t.Fatal(err)
+	}
+	return c.Bytes(), j.Bytes()
+}
+
+// TestResumeSkipsCompletedJobs is the acceptance test for the resume
+// semantics: a campaign killed mid-run and re-invoked against the same
+// store must run only the jobs that had not completed, and its final
+// aggregate CSV/JSON must be byte-identical to an uninterrupted run.
+func TestResumeSkipsCompletedJobs(t *testing.T) {
+	jobs, err := resumeSpec().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+
+	// Reference: an uninterrupted campaign.
+	fullStore, err := OpenStore(filepath.Join(dir, "full.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullCalls int64
+	fullRecs, err := (&Scheduler{Runner: countingRunner(&fullCalls)}).
+		Run(context.Background(), jobs, fullStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullStore.Close()
+	if fullCalls != int64(len(jobs)) {
+		t.Fatalf("uninterrupted run executed %d of %d jobs", fullCalls, len(jobs))
+	}
+	wantCSV, wantJSON := exportAll(t, fullRecs)
+
+	// Interrupted: cancel the context once half the jobs completed.
+	// In-flight jobs still finish, so the store may hold a few more.
+	store, err := OpenStore(filepath.Join(dir, "interrupted.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var done int64
+	interrupted := &Scheduler{
+		Workers: 2,
+		Runner:  countingRunner(new(int64)),
+		OnProgress: func(p Progress) {
+			if atomic.AddInt64(&done, 1) == int64(len(jobs)/2) {
+				cancel()
+			}
+		},
+	}
+	if _, err := interrupted.Run(ctx, jobs, store); err == nil {
+		t.Fatal("interrupted campaign reported success")
+	}
+	store.Close()
+
+	// Resume: reopen the store; only the unfinished jobs may run.
+	store, err = OpenStore(filepath.Join(dir, "interrupted.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	completed := store.Len()
+	if completed == 0 || completed == len(jobs) {
+		t.Fatalf("interruption completed %d of %d jobs; test needs a partial store",
+			completed, len(jobs))
+	}
+	var resumeCalls int64
+	cached := 0
+	resumed := &Scheduler{
+		Runner: countingRunner(&resumeCalls),
+		OnProgress: func(p Progress) {
+			if p.Cached {
+				cached++
+			}
+		},
+	}
+	recs, err := resumed.Run(context.Background(), jobs, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(resumeCalls) != len(jobs)-completed {
+		t.Fatalf("resume executed %d jobs, want %d (store had %d of %d)",
+			resumeCalls, len(jobs)-completed, completed, len(jobs))
+	}
+	if cached != completed {
+		t.Fatalf("resume reported %d cached jobs, store had %d", cached, completed)
+	}
+
+	gotCSV, gotJSON := exportAll(t, recs)
+	if !bytes.Equal(gotCSV, wantCSV) {
+		t.Errorf("resumed CSV differs from uninterrupted run:\n%s\nvs\n%s", gotCSV, wantCSV)
+	}
+	if !bytes.Equal(gotJSON, wantJSON) {
+		t.Errorf("resumed JSON differs from uninterrupted run")
+	}
+}
+
+// TestResumeNoWorkLeft re-runs a finished campaign: everything cached,
+// zero simulator invocations, identical output.
+func TestResumeNoWorkLeft(t *testing.T) {
+	jobs, err := resumeSpec().Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	store, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := (&Scheduler{}).Run(context.Background(), jobs, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	store, err = OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	var calls int64
+	again, err := (&Scheduler{Runner: countingRunner(&calls)}).
+		Run(context.Background(), jobs, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("fully cached campaign executed %d jobs", calls)
+	}
+	aCSV, aJSON := exportAll(t, first)
+	bCSV, bJSON := exportAll(t, again)
+	if !bytes.Equal(aCSV, bCSV) || !bytes.Equal(aJSON, bJSON) {
+		t.Fatal("cached output differs from executed output")
+	}
+}

@@ -1,0 +1,180 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Progress reports one finished (or skipped) job to the scheduler's
+// callback. Done counts both, so Done == Total when the campaign ends.
+type Progress struct {
+	Done, Total int
+	Job         Job
+	// Cached marks a job skipped because its key was already in the
+	// store (a resumed campaign).
+	Cached bool
+	// Err is the job's failure, if any; the campaign keeps running the
+	// remaining jobs and reports the first error at the end.
+	Err error
+}
+
+// Scheduler executes campaign jobs on a bounded worker pool. The zero
+// value runs sim.Run on GOMAXPROCS workers with no progress reporting.
+type Scheduler struct {
+	// Workers bounds parallelism; <= 0 means GOMAXPROCS. Results are
+	// ordered by job index regardless of completion order, and the
+	// simulator is deterministic per job, so the worker count never
+	// changes campaign output.
+	Workers int
+	// Runner executes one simulation; nil means sim.Run. Tests inject
+	// counting or failing runners here.
+	Runner func(sim.Options) (*sim.Result, error)
+	// OnProgress, when set, is called serially after every job.
+	OnProgress func(Progress)
+}
+
+// Run executes jobs, returning one record per job in job order. Jobs
+// whose key is already in store are skipped and their stored record
+// reused; newly completed jobs are appended to store as they finish, so
+// a killed campaign loses at most the jobs in flight. A nil store runs
+// everything and persists nothing. Cancelling ctx stops scheduling new
+// jobs (in-flight simulations finish) and Run returns ctx.Err() unless
+// a simulation failed first.
+func (s *Scheduler) Run(ctx context.Context, jobs []Job, store *Store) ([]Record, error) {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	runner := s.Runner
+	if runner == nil {
+		runner = sim.Run
+	}
+
+	records := make([]Record, len(jobs))
+
+	var progressMu sync.Mutex
+	done := 0
+	report := func(p Progress) {
+		progressMu.Lock()
+		done++
+		p.Done, p.Total = done, len(jobs)
+		cb := s.OnProgress
+		if cb != nil {
+			cb(p)
+		}
+		progressMu.Unlock()
+	}
+
+	// Resolve cached jobs up front so workers only see real work. Job
+	// keys hash tweak content, not the display name, so a cached record
+	// may carry a stale label from before a spec rename; re-label it
+	// from the current job so aggregation cells stay whole.
+	var pending []int
+	for i, j := range jobs {
+		if store != nil {
+			if rec, ok := store.Get(j.Key()); ok {
+				rec.Tweak = j.Tweak.Label()
+				records[i] = rec
+				report(Progress{Job: j, Cached: true})
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+
+	errs := runPool(ctx, workers, len(jobs), pending, func(i int) error {
+		j := jobs[i]
+		res, err := runner(j.Options())
+		if err != nil {
+			report(Progress{Job: j, Err: err})
+			return err
+		}
+		rec := Record{
+			Key: j.Key(), Workload: res.Workload, Policy: res.Policy,
+			Tweak: j.Tweak.Label(), Seed: j.Seed, Summary: res.Summary(),
+		}
+		if store != nil {
+			if err := store.Append(rec); err != nil {
+				report(Progress{Job: j, Err: err})
+				return err
+			}
+		}
+		records[i] = rec
+		report(Progress{Job: j})
+		return nil
+	})
+
+	// First simulation failure in job order wins; a bare cancellation
+	// (no sim error) reports ctx.Err.
+	var ctxErr error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if err == context.Canceled || err == context.DeadlineExceeded {
+			if ctxErr == nil {
+				ctxErr = err
+			}
+			continue
+		}
+		return records, fmt.Errorf("campaign: %s: %w", jobs[i], err)
+	}
+	return records, ctxErr
+}
+
+// RunAll executes raw sim.Options concurrently (bounded by GOMAXPROCS)
+// and returns results in input order — the scheduler entry point for
+// callers like internal/experiments whose grids are built in Go rather
+// than declared as a Spec.
+func RunAll(ctx context.Context, opts []sim.Options) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(opts))
+	all := make([]int, len(opts))
+	for i := range all {
+		all[i] = i
+	}
+	errs := runPool(ctx, runtime.GOMAXPROCS(0), len(opts), all, func(i int) error {
+		var err error
+		results[i], err = sim.Run(opts[i])
+		return err
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %s/%s: %w",
+				opts[i].Workload.Name, opts[i].Policy, err)
+		}
+	}
+	return results, nil
+}
+
+// runPool is the shared bounded worker pool: it executes fn(i) for each
+// listed index on workers goroutines and returns n per-index errors.
+// Once ctx is cancelled, indices not yet started record ctx.Err()
+// without running fn; work already in flight finishes.
+func runPool(ctx context.Context, workers, n int, indices []int, fn func(int) error) []error {
+	errs := make([]error, n)
+	idxCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for _, i := range indices {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	return errs
+}

@@ -1,0 +1,166 @@
+package campaign
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// fakeResult builds a minimal well-formed Result (Summary needs a
+// non-nil latency histogram) so scheduler tests avoid the simulator.
+func fakeResult(o sim.Options) *sim.Result {
+	return &sim.Result{Workload: o.Workload.Name, Policy: o.Policy.String(),
+		Cycles: o.Cycles, IPC: float64(o.Seed), HitLatency: stats.NewHistogram(8)}
+}
+
+// tinyOptions builds a small real-simulation option set.
+func tinyOptions(t *testing.T, name string, p sim.PolicySpec) sim.Options {
+	t.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("no workload %s", name)
+	}
+	return sim.Options{Workload: w, Policy: p, Warmup: 4000, Cycles: 4000, Seed: 1}
+}
+
+func TestRunAllOrderAndParallelism(t *testing.T) {
+	opts := []sim.Options{
+		tinyOptions(t, "2W1", sim.SpecICOUNT),
+		tinyOptions(t, "4W1", sim.SpecICOUNT),
+		tinyOptions(t, "2W1", sim.SpecMFLUSH),
+	}
+	res, err := RunAll(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("result count = %d", len(res))
+	}
+	if res[0].Workload != "2W1" || res[1].Workload != "4W1" || res[2].Policy != "MFLUSH" {
+		t.Fatal("results out of order")
+	}
+}
+
+func TestRunAllPropagatesErrors(t *testing.T) {
+	bad := sim.Options{Workload: workload.Workload{Name: "bad", Letters: "!"},
+		Policy: sim.SpecICOUNT, Warmup: 100, Cycles: 100}
+	if _, err := RunAll(context.Background(), []sim.Options{bad}); err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestRunAllCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunAll(ctx, []sim.Options{tinyOptions(t, "2W1", sim.SpecICOUNT)}); err == nil {
+		t.Fatal("cancelled context accepted")
+	}
+}
+
+func TestSchedulerOrderProgressAndInjection(t *testing.T) {
+	spec := Spec{Workloads: []string{"2W1", "2W2"}, Policies: []string{"ICOUNT"},
+		Seeds: []uint64{1, 2}, Cycles: 1000}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int64
+	var progress []Progress
+	sched := &Scheduler{
+		Workers: 2,
+		Runner: func(o sim.Options) (*sim.Result, error) {
+			atomic.AddInt64(&calls, 1)
+			return fakeResult(o), nil
+		},
+		OnProgress: func(p Progress) { progress = append(progress, p) },
+	}
+	recs, err := sched.Run(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 || len(recs) != 4 {
+		t.Fatalf("calls = %d, records = %d", calls, len(recs))
+	}
+	// Records come back in job order regardless of completion order.
+	for i, j := range jobs {
+		if recs[i].Workload != j.Workload.Name || recs[i].Seed != j.Seed {
+			t.Fatalf("record %d = %+v, want job %v", i, recs[i], j)
+		}
+		if recs[i].Key != j.Key() {
+			t.Fatalf("record %d key mismatch", i)
+		}
+	}
+	if len(progress) != 4 || progress[3].Done != 4 || progress[3].Total != 4 {
+		t.Fatalf("progress = %+v", progress)
+	}
+}
+
+// TestResumeRelabelsRenamedTweak: job keys hash tweak content, so a
+// spec rename reuses stored results — but the cached records must adopt
+// the current label or aggregation would split one cell in two.
+func TestResumeRelabelsRenamedTweak(t *testing.T) {
+	mkJobs := func(name string, seeds []uint64) []Job {
+		jobs, err := Spec{Workloads: []string{"2W1"}, Policies: []string{"ICOUNT"},
+			Seeds: seeds, Cycles: 1000,
+			Tweaks: []Tweak{{Name: name, MSHREntries: 4}}}.Jobs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jobs
+	}
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	store, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := &Scheduler{Runner: func(o sim.Options) (*sim.Result, error) {
+		return fakeResult(o), nil
+	}}
+	if _, err := fake.Run(context.Background(), mkJobs("old-name", []uint64{1, 2}), store); err != nil {
+		t.Fatal(err)
+	}
+	store.Close()
+
+	store, err = OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	// Renamed tweak, one extra seed: 2 cached jobs + 1 fresh.
+	recs, err := fake.Run(context.Background(), mkJobs("new-name", []uint64{1, 2, 3}), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range recs {
+		if r.Tweak != "new-name" {
+			t.Errorf("record %d tweak = %q, want the renamed label", i, r.Tweak)
+		}
+	}
+	cells := Aggregate(recs)
+	if len(cells) != 1 || cells[0].Seeds != 3 || cells[0].Tweak != "new-name" {
+		t.Fatalf("rename split the cell: %+v", cells)
+	}
+}
+
+func TestSchedulerReportsJobError(t *testing.T) {
+	jobs, _ := Spec{Workloads: []string{"2W1"}, Policies: []string{"ICOUNT"},
+		Seeds: []uint64{1, 2}, Cycles: 100}.Jobs()
+	sched := &Scheduler{Runner: func(o sim.Options) (*sim.Result, error) {
+		if o.Seed == 2 {
+			return nil, fmt.Errorf("boom")
+		}
+		return fakeResult(o), nil
+	}}
+	_, err := sched.Run(context.Background(), jobs, nil)
+	if err == nil || !strings.Contains(err.Error(), "seed=2") ||
+		!strings.Contains(err.Error(), "boom") {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,125 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Record is one completed job: its key, the cell identity the
+// aggregation layer groups by, and the full simulation summary. Stores
+// hold one JSON record per line.
+type Record struct {
+	Key      string      `json:"key"`
+	Workload string      `json:"workload"`
+	Policy   string      `json:"policy"`
+	Tweak    string      `json:"tweak"`
+	Seed     uint64      `json:"seed"`
+	Summary  sim.Summary `json:"summary"`
+}
+
+// Store persists campaign results as append-only JSONL keyed by job
+// content hash. Opening an existing store loads every completed record,
+// which is how an interrupted campaign resumes: the scheduler skips any
+// job whose key is already present. Append is safe for concurrent use
+// by scheduler workers.
+type Store struct {
+	mu   sync.Mutex
+	f    *os.File
+	recs map[string]Record
+}
+
+// OpenStore opens (creating if absent) the JSONL store at path. A kill
+// mid-write can leave a torn final line — Append writes each record as
+// one newline-terminated Write, so a torn write is exactly a fragment
+// with no trailing newline — which is truncated away so the next append
+// starts on a clean line boundary, costing at most the one job that was
+// being written. A newline-terminated line that fails to parse is NOT a
+// torn write: it means the file was edited or corrupted, and dropping
+// everything after it would delete completed work, so opening fails
+// instead.
+func OpenStore(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open store: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: read store: %w", err)
+	}
+	s := &Store{recs: make(map[string]Record)}
+	valid := 0 // byte length of the valid line-aligned prefix
+	for len(data) > valid {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break // torn final write: drop the unterminated fragment
+		}
+		line := data[valid : valid+nl]
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			f.Close()
+			return nil, fmt.Errorf("campaign: store %s: corrupt record at byte %d (not a torn tail); repair or remove the file",
+				path, valid)
+		}
+		s.recs[rec.Key] = rec
+		valid += nl + 1
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("campaign: truncate torn store tail: %w", err)
+	}
+	f.Close()
+	// Reopen in append mode for writing: the kernel serialises O_APPEND
+	// writes at the file end, so even two processes resuming the same
+	// store concurrently (unsupported, but it happens) interleave whole
+	// lines — wasted duplicate work, never byte-level corruption.
+	s.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: reopen store for append: %w", err)
+	}
+	return s, nil
+}
+
+// Len returns the number of completed records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Get returns the record for a job key, if completed.
+func (s *Store) Get(key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[key]
+	return rec, ok
+}
+
+// Append persists one completed record. Each record is a single Write
+// of one full line, so a kill tears at most the line in flight.
+func (s *Store) Append(rec Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("campaign: marshal record: %w", err)
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("campaign: append record: %w", err)
+	}
+	s.recs[rec.Key] = rec
+	return nil
+}
+
+// Close releases the backing file.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}

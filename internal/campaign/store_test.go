@@ -1,0 +1,133 @@
+package campaign
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func testRecord(key, w, p string, seed uint64, ipc float64) Record {
+	return Record{Key: key, Workload: w, Policy: p, Tweak: "baseline", Seed: seed,
+		Summary: sim.Summary{Workload: w, Policy: p, IPC: ipc}}
+}
+
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord("k1", "2W1", "ICOUNT", 1, 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord("k2", "2W1", "MFLUSH", 1, 1.8)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	s.Close()
+
+	s, err = OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 2 {
+		t.Fatalf("reopened Len = %d", s.Len())
+	}
+	rec, ok := s.Get("k2")
+	if !ok || rec.Summary.IPC != 1.8 || rec.Policy != "MFLUSH" {
+		t.Fatalf("Get(k2) = %+v, %v", rec, ok)
+	}
+	if _, ok := s.Get("nope"); ok {
+		t.Fatal("phantom record")
+	}
+}
+
+// TestStoreTruncatesTornTail models a campaign killed mid-write: the
+// final line is incomplete and must be dropped, and a subsequent append
+// must land on a clean line boundary.
+func TestStoreTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord("k1", "2W1", "ICOUNT", 1, 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"key":"k2","workload":"2W`) // torn mid-record
+	f.Close()
+
+	s, err = OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("torn store Len = %d, want 1", s.Len())
+	}
+	if _, ok := s.Get("k2"); ok {
+		t.Fatal("torn record resurrected")
+	}
+	if err := s.Append(testRecord("k3", "2W1", "MFLUSH", 2, 2.0)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s, err = OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Len() != 2 {
+		t.Fatalf("post-repair Len = %d, want 2", s.Len())
+	}
+	if _, ok := s.Get("k3"); !ok {
+		t.Fatal("append after repair lost")
+	}
+}
+
+// TestStoreRejectsMidFileCorruption: a complete (newline-terminated)
+// line that fails to parse is not a torn tail — truncating there would
+// delete every valid record after it, so opening must fail instead.
+func TestStoreRejectsMidFileCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range []string{"k1", "k2", "k3"} {
+		if err := s.Append(testRecord(key, "2W1", "ICOUNT", uint64(i), 1.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[5] ^= 0xFF // flip a byte inside the first record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Fatal("mid-file corruption silently accepted")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(data) {
+		t.Fatalf("failed open modified the file: %d -> %d bytes", len(data), len(after))
+	}
+}

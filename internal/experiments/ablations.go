@@ -42,7 +42,7 @@ func AblationMCRegHistory(cfg Config) ([]AblationRow, error) {
 			rows = append(rows, AblationRow{Workload: w.Name, Variant: fmt.Sprintf("MCReg history %d", depth)})
 		}
 	}
-	res, err := runAll(opts)
+	res, err := runGrid(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +75,7 @@ func AblationResponseAction(cfg Config) ([]AblationRow, error) {
 			rows = append(rows, AblationRow{Workload: w.Name, Variant: spec.String()})
 		}
 	}
-	res, err := runAll(opts)
+	res, err := runGrid(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -104,7 +104,7 @@ func AblationMSHR(cfg Config) ([]AblationRow, error) {
 		opts = append(opts, o)
 		rows = append(rows, AblationRow{Workload: w.Name, Variant: fmt.Sprintf("MSHR %d", size)})
 	}
-	res, err := runAll(opts)
+	res, err := runGrid(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +140,7 @@ func AblationRegReserve(cfg Config) ([]AblationRow, error) {
 			})
 		}
 	}
-	res, err := runAll(opts)
+	res, err := runGrid(opts)
 	if err != nil {
 		return nil, err
 	}

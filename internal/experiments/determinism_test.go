@@ -7,8 +7,9 @@ import (
 )
 
 // TestRunAllDeterministicAcrossGOMAXPROCS guards the per-core recycling
-// pools against cross-simulation sharing: runAll schedules concurrent
-// sim.Run calls, and results must not depend on how many ran in parallel.
+// pools against cross-simulation sharing: the campaign scheduler runs
+// concurrent sim.Run calls, and figure values must not depend on how
+// many ran in parallel.
 func TestRunAllDeterministicAcrossGOMAXPROCS(t *testing.T) {
 	run := func() string {
 		rows, _, err := Figure2(short)

@@ -4,14 +4,16 @@
 //
 // All experiments run the same synthetic workloads through the same
 // machine for every policy, so differences are attributable to the IFetch
-// policy alone. Simulations are independent and run in parallel.
+// policy alone. Simulations are independent and run in parallel on the
+// campaign scheduler (internal/campaign), the same worker pool that
+// backs cmd/mflushsweep.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
+	"repro/internal/campaign"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -41,30 +43,14 @@ func (c Config) options(w workload.Workload, p sim.PolicySpec) sim.Options {
 	return sim.Options{Workload: w, Policy: p, Warmup: c.Warmup, Cycles: c.Cycles, Seed: c.Seed}
 }
 
-// runAll executes the given simulations concurrently (bounded by
-// GOMAXPROCS) and returns results in input order.
-func runAll(opts []sim.Options) ([]*sim.Result, error) {
-	results := make([]*sim.Result, len(opts))
-	errs := make([]error, len(opts))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i := range opts {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i], errs[i] = sim.Run(opts[i])
-		}(i)
+// runGrid executes the figure's simulation grid through the campaign
+// scheduler (bounded parallelism, results in input order).
+func runGrid(opts []sim.Options) ([]*sim.Result, error) {
+	res, err := campaign.RunAll(context.Background(), opts)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s/%s: %w",
-				opts[i].Workload.Name, opts[i].Policy, err)
-		}
-	}
-	return results, nil
+	return res, nil
 }
 
 // Figure2Row is one bar pair of Figure 2: single-core SMT throughput under
@@ -87,7 +73,7 @@ func Figure2(cfg Config) ([]Figure2Row, float64, error) {
 		opts = append(opts, cfg.options(w, sim.SpecICOUNT))
 		opts = append(opts, cfg.options(w, sim.SpecFlushS(30)))
 	}
-	res, err := runAll(opts)
+	res, err := runGrid(opts)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -123,7 +109,7 @@ func Figure3(cfg Config) ([]Figure3Row, error) {
 			opts = append(opts, cfg.options(w, sim.SpecICOUNT))
 			opts = append(opts, cfg.options(w, sim.SpecFlushS(30)))
 		}
-		res, err := runAll(opts)
+		res, err := runGrid(opts)
 		if err != nil {
 			return nil, err
 		}
@@ -166,7 +152,7 @@ func Figure4(cfg Config) ([]Figure4Row, error) {
 			sizes = append(sizes, size)
 		}
 	}
-	res, err := runAll(opts)
+	res, err := runGrid(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +213,7 @@ func Figure5(cfg Config) ([]Figure5Row, error) {
 		opts = append(opts, cfg.options(w, sim.SpecFlushNS))
 		rows = append(rows, Figure5Row{Workload: w.Name, Policy: "FL-NS"})
 	}
-	res, err := runAll(opts)
+	res, err := runGrid(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +252,7 @@ func Figure8(cfg Config) ([]Figure8Row, error) {
 			opts = append(opts, cfg.options(w, p))
 		}
 	}
-	res, err := runAll(opts)
+	res, err := runGrid(opts)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +310,7 @@ func Figure11(cfg Config) ([]Figure11Row, error) {
 			opts = append(opts, cfg.options(w, p))
 		}
 	}
-	res, err := runAll(opts)
+	res, err := runGrid(opts)
 	if err != nil {
 		return nil, err
 	}

@@ -25,29 +25,11 @@ func testCfg() Config {
 	return tiny
 }
 
-func TestRunAllOrderAndParallelism(t *testing.T) {
-	w2, _ := workload.ByName("2W1")
-	w4, _ := workload.ByName("4W1")
-	opts := []sim.Options{
-		tiny.options(w2, sim.SpecICOUNT),
-		tiny.options(w4, sim.SpecICOUNT),
-		tiny.options(w2, sim.SpecMFLUSH),
-	}
-	res, err := runAll(opts)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res) != 3 {
-		t.Fatalf("result count = %d", len(res))
-	}
-	if res[0].Workload != "2W1" || res[1].Workload != "4W1" || res[2].Policy != "MFLUSH" {
-		t.Fatal("results out of order")
-	}
-}
-
-func TestRunAllPropagatesErrors(t *testing.T) {
+// The scheduler itself (ordering, parallelism, error propagation) is
+// tested in internal/campaign; runGrid only wraps campaign.RunAll.
+func TestRunGridPropagatesErrors(t *testing.T) {
 	bad := tiny.options(workload.Workload{Name: "bad", Letters: "!"}, sim.SpecICOUNT)
-	if _, err := runAll([]sim.Options{bad}); err == nil {
+	if _, err := runGrid([]sim.Options{bad}); err == nil {
 		t.Fatal("error not propagated")
 	}
 }

@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"strings"
@@ -62,6 +63,25 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 		return cw.n, err
 	}
 	return cw.n, nil
+}
+
+// WriteCSV renders the table as RFC 4180 CSV: the header (when present)
+// then one record per row, with the same cell formatting as WriteTo.
+// Campaign exports go through this, so the byte output must stay stable.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if len(t.header) > 0 {
+		if err := cw.Write(t.header); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }
 
 // String renders the table to a string.

@@ -35,6 +35,81 @@ func TestTableRowF(t *testing.T) {
 	}
 }
 
+func TestTableWriteCSV(t *testing.T) {
+	tbl := NewTable("name", "ipc", "note")
+	tbl.Row("2W1", 1.5, "plain")
+	tbl.Row("8W3, tweaked", 0.25, `quote "me"`)
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,ipc,note\n" +
+		"2W1,1.500,plain\n" +
+		"\"8W3, tweaked\",0.250,\"quote \"\"me\"\"\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV:\n%q\nwant:\n%q", b.String(), want)
+	}
+}
+
+func TestTableWriteCSVNoHeader(t *testing.T) {
+	tbl := &Table{}
+	tbl.RowF("a", "b")
+	var b strings.Builder
+	if err := tbl.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a,b\n" {
+		t.Fatalf("CSV = %q", b.String())
+	}
+}
+
+func TestEmptyTableRendering(t *testing.T) {
+	if out := (&Table{}).String(); out != "" {
+		t.Fatalf("zero table rendered %q", out)
+	}
+	hdr := NewTable("a", "bb")
+	if out := hdr.String(); !strings.Contains(out, "a") || !strings.Contains(out, "bb") {
+		t.Fatalf("header-only table lost its header: %q", out)
+	}
+	if hdr.Len() != 0 {
+		t.Fatalf("header-only Len = %d", hdr.Len())
+	}
+	var b strings.Builder
+	if err := hdr.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "a,bb\n" {
+		t.Fatalf("header-only CSV = %q", b.String())
+	}
+}
+
+func TestBarsWidthClamped(t *testing.T) {
+	// Non-positive widths fall back to the 40-character default.
+	for _, width := range []int{0, -3} {
+		var b strings.Builder
+		if err := Bars(&b, width, []string{"max", "half"}, []float64{2, 1}); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+		if n := strings.Count(lines[0], "#"); n != 40 {
+			t.Fatalf("width %d: max bar has %d chars, want the 40 default", width, n)
+		}
+		if n := strings.Count(lines[1], "#"); n != 20 {
+			t.Fatalf("width %d: half bar has %d chars, want 20", width, n)
+		}
+	}
+}
+
+func TestHistogramWidthClamped(t *testing.T) {
+	var b strings.Builder
+	if err := Histogram(&b, 10, []uint64{4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(b.String(), "#"); n != 40 {
+		t.Fatalf("max bucket has %d chars, want the 40 default", n)
+	}
+}
+
 func TestBars(t *testing.T) {
 	var b strings.Builder
 	err := Bars(&b, 10, []string{"one", "two"}, []float64{1, 2})

@@ -62,6 +62,25 @@ func TestReplayDeterminism(t *testing.T) {
 	}
 }
 
+// TestReplayNameOverride guards the Options.Name plumbing: a replay run
+// reports the supplied name instead of the synthetic replay-N.
+func TestReplayNameOverride(t *testing.T) {
+	traces := [][]isa.Inst{record(t, "mcf", 1, 1<<34, 20000)}
+	res, err := Run(Options{
+		Policy: SpecICOUNT, ThreadTraces: traces, Name: "mcf-trace",
+		Warmup: 5000, Cycles: 5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "mcf-trace" {
+		t.Fatalf("workload name = %q, want the Name override", res.Workload)
+	}
+	if got := res.Summary().Workload; got != "mcf-trace" {
+		t.Fatalf("summary workload = %q", got)
+	}
+}
+
 func TestReplayValidation(t *testing.T) {
 	if _, err := Run(Options{Policy: SpecICOUNT, Cycles: 1000,
 		ThreadTraces: [][]isa.Inst{{}}}); err == nil {

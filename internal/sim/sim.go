@@ -112,6 +112,10 @@ type Options struct {
 	// Workload selects the benchmarks; the core count is derived from
 	// its size (2 contexts per core).
 	Workload workload.Workload
+	// Name overrides the workload name reported in Result and Summary.
+	// Replay runs (ThreadTraces) have no Workload and otherwise report
+	// the synthetic "replay-N".
+	Name string
 	// Policy is instantiated once per core.
 	Policy PolicySpec
 	// Cycles is the measured simulation length; Warmup cycles run first
@@ -364,7 +368,10 @@ func collect(chip *cmp.Chip, opt Options) (*Result, error) {
 	if err := chip.CheckInvariants(); err != nil {
 		return nil, err
 	}
-	name := opt.Workload.Name
+	name := opt.Name
+	if name == "" {
+		name = opt.Workload.Name
+	}
 	if len(opt.ThreadTraces) > 0 && name == "" {
 		name = fmt.Sprintf("replay-%d", len(opt.ThreadTraces))
 	}

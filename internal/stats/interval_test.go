@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVarianceAndStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Variance(xs); math.Abs(got-4.571428571428571) > 1e-12 {
+		t.Fatalf("Variance = %v", got)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(4.571428571428571)) > 1e-12 {
+		t.Fatalf("StdDev = %v", got)
+	}
+	if Variance([]float64{5}) != 0 || StdDev(nil) != 0 {
+		t.Fatal("degenerate inputs should have zero dispersion")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	// Three samples: df=2, t=4.303, s=1, CI = 4.303/sqrt(3).
+	xs := []float64{1, 2, 3}
+	want := 4.303 * 1.0 / math.Sqrt(3)
+	if got := CI95(xs); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("CI95 = %v, want %v", got, want)
+	}
+	if CI95([]float64{7}) != 0 {
+		t.Fatal("single sample should have no interval")
+	}
+	// Large n uses the Cornish-Fisher t approximation.
+	big := make([]float64, 100)
+	for i := range big {
+		big[i] = float64(i % 2)
+	}
+	s := StdDev(big)
+	want = tCrit(99) * s / 10
+	if got := CI95(big); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("large-n CI95 = %v, want %v", got, want)
+	}
+}
+
+func TestTCrit(t *testing.T) {
+	// Spot-check the approximation against published quantiles.
+	for _, c := range []struct {
+		df   int
+		want float64
+	}{{31, 2.0395}, {40, 2.0211}, {60, 2.0003}, {120, 1.9799}} {
+		got := tCrit(c.df)
+		if math.Abs(got-c.want)/c.want > 0.002 {
+			t.Errorf("tCrit(%d) = %v, want ~%v", c.df, got, c.want)
+		}
+	}
+	// No discontinuity at the table edge, and monotone decreasing.
+	for df := 2; df <= 200; df++ {
+		if tCrit(df) >= tCrit(df-1) {
+			t.Fatalf("tCrit not decreasing at df=%d: %v >= %v",
+				df, tCrit(df), tCrit(df-1))
+		}
+	}
+	if tCrit(10000) < 1.959 || tCrit(10000) > 1.961 {
+		t.Fatalf("tCrit tail = %v, want ~z", tCrit(10000))
+	}
+}
