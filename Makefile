@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test shorttest racetest vet bench bench-throughput
+.PHONY: build test shorttest racetest vet bench bench-throughput docscheck
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,12 @@ racetest:
 
 vet:
 	$(GO) vet ./...
+
+# Documentation checks: markdown links in README/CAMPAIGNS/ARCHITECTURE/
+# API resolve, and every exported identifier in internal/server and
+# internal/campaign has a doc comment (mirrors the CI docs job).
+docscheck:
+	$(GO) test ./internal/docs/
 
 # Full evaluation benchmarks: every figure's headline metric plus raw
 # simulator throughput.

@@ -1,0 +1,107 @@
+// Command mflushd is the simulation-as-a-service daemon: it accepts
+// campaign specs over HTTP, executes them on a shared bounded scheduler,
+// and serves every result from a content-addressed cache persisted in a
+// campaign store — identical jobs are simulated once, ever, across all
+// clients and restarts.
+//
+// Usage:
+//
+//	mflushd [-addr :8080] [-store mflushd/results.jsonl] \
+//	        [-workers N] [-max-queue N] [-max-campaigns N] [-drain-timeout 60s]
+//
+// SIGTERM (or SIGINT) drains gracefully: new submissions get 503,
+// in-flight simulations finish and persist, then the daemon exits.
+// API.md documents the endpoints; examples/client drives them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mflushd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	storePath := flag.String("store", "mflushd/results.jsonl",
+		"content-addressed result store (JSONL; parent directory is created)")
+	workers := flag.Int("workers", 0, "simulation parallelism across all campaigns (0: GOMAXPROCS)")
+	maxQueue := flag.Int("max-queue", 1024, "max jobs admitted but unfinished before submissions get 429")
+	maxCampaigns := flag.Int("max-campaigns", 1000, "settled campaigns retained for status/result queries")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second,
+		"how long to wait for in-flight simulations on shutdown")
+	flag.Parse()
+
+	if dir := filepath.Dir(*storePath); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	store, err := campaign.OpenStore(*storePath)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	srv := server.New(server.Config{
+		Store:         store,
+		Workers:       *workers,
+		MaxQueuedJobs: *maxQueue,
+		MaxCampaigns:  *maxCampaigns,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	log.Printf("mflushd: serving on %s (store %s, %d cached results)",
+		*addr, *storePath, store.Len())
+
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: reject new campaigns, let in-flight simulations
+	// finish and persist, then close the listener and the store.
+	log.Printf("mflushd: draining (up to %s) ...", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		// SSE streams and pollers may still be attached; closing them
+		// forcibly after the drain is safe — all results are on disk.
+		httpSrv.Close()
+	}
+	if drainErr != nil {
+		log.Printf("mflushd: %v; exiting with jobs still in flight (%d results in store)",
+			drainErr, store.Len())
+		return nil
+	}
+	log.Printf("mflushd: drained; %d results in store", store.Len())
+	return nil
+}

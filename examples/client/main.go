@@ -1,0 +1,168 @@
+// Command client drives a running mflushd daemon end to end: it submits
+// a campaign spec, follows the live SSE progress stream, and fetches the
+// aggregate once the campaign completes — the whole service round trip
+// in ~100 lines of stdlib Go.
+//
+// Start a daemon, then run the client:
+//
+//	go run ./cmd/mflushd &
+//	go run ./examples/client -addr http://127.0.0.1:8080
+//	go run ./examples/client -addr http://127.0.0.1:8080 -spec sweep.json -format csv
+//
+// Run it twice: the second run returns the same aggregate with every job
+// served from the daemon's content-addressed cache.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// submitResponse mirrors the daemon's 202 body (see API.md).
+type submitResponse struct {
+	ID        string `json:"id"`
+	Jobs      int    `json:"jobs"`
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+	ResultURL string `json:"result_url"`
+}
+
+// status mirrors the campaign status schema (see API.md).
+type status struct {
+	State     string `json:"state"`
+	Jobs      int    `json:"jobs"`
+	Completed int    `json:"completed"`
+	Cached    int    `json:"cached"`
+	Failed    int    `json:"failed"`
+	Error     string `json:"error"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "mflushd base URL")
+	specPath := flag.String("spec", "", "campaign spec file (default: a small built-in demo sweep)")
+	format := flag.String("format", "table", "result format: json, csv, table or rows")
+	flag.Parse()
+	if err := run(*addr, *specPath, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, specPath, format string) error {
+	spec := `{"workloads":["2W1","2W3"],"policies":["ICOUNT","MFLUSH"],"seeds":[1,2],"cycles":20000,"warmup":5000}`
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return err
+		}
+		spec = string(data)
+	}
+
+	// 1. Submit the campaign.
+	resp, err := http.Post(addr+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		return decodeError(resp)
+	}
+	var sub submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		return err
+	}
+	fmt.Printf("campaign %s accepted: %d jobs\n", sub.ID, sub.Jobs)
+
+	// 2. Follow the SSE stream until the campaign settles.
+	final, err := follow(addr + sub.EventsURL)
+	if err != nil {
+		return err
+	}
+	if final.State != "done" {
+		return fmt.Errorf("campaign ended %s: %s", final.State, final.Error)
+	}
+	fmt.Printf("done: %d completed (%d cache hits), %d failed\n",
+		final.Completed, final.Cached, final.Failed)
+
+	// 3. Fetch the aggregate.
+	res, err := http.Get(addr + sub.ResultURL + "?format=" + format)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		return decodeError(res)
+	}
+	sc := bufio.NewScanner(res.Body)
+	for sc.Scan() {
+		fmt.Println(sc.Text())
+	}
+	return sc.Err()
+}
+
+// follow consumes the campaign's event stream, echoing progress and
+// returning the terminal status.
+func follow(url string) (status, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return status{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return status{}, decodeError(resp)
+	}
+	var event string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "progress":
+				var p struct {
+					Job    string `json:"job"`
+					Cached bool   `json:"cached"`
+					Totals status `json:"totals"`
+				}
+				if err := json.Unmarshal([]byte(data), &p); err != nil {
+					return status{}, err
+				}
+				note := ""
+				if p.Cached {
+					note = " (cached)"
+				}
+				fmt.Printf("  [%d/%d] %s%s\n", p.Totals.Completed+p.Totals.Failed, p.Totals.Jobs, p.Job, note)
+			case "status": // initial snapshot; nothing to print
+			default: // terminal: done, failed or canceled
+				var st status
+				if err := json.Unmarshal([]byte(data), &st); err != nil {
+					return status{}, err
+				}
+				return st, nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return status{}, err
+	}
+	return status{}, fmt.Errorf("event stream ended without a terminal event")
+}
+
+// decodeError surfaces the daemon's {"error": ...} envelope.
+func decodeError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil && body.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, body.Error)
+	}
+	return fmt.Errorf("unexpected response %s", resp.Status)
+}

@@ -12,9 +12,12 @@ import (
 
 // Dist summarises one metric across the seeds of a cell.
 type Dist struct {
+	// Mean is the arithmetic mean across the cell's seeds.
 	Mean float64 `json:"mean"`
-	Min  float64 `json:"min"`
-	Max  float64 `json:"max"`
+	// Min is the smallest per-seed value.
+	Min float64 `json:"min"`
+	// Max is the largest per-seed value.
+	Max float64 `json:"max"`
 	// CI95 is the half-width of the 95% confidence interval of the mean
 	// (Student-t); zero when the cell has fewer than two seeds.
 	CI95 float64 `json:"ci95"`
@@ -36,13 +39,20 @@ func newDist(xs []float64) Dist {
 // Cell is one (workload, policy, tweak) point of a campaign with its
 // metrics aggregated across seeds.
 type Cell struct {
+	// Workload names the benchmark mix the cell covers.
 	Workload string `json:"workload"`
-	Policy   string `json:"policy"`
-	Tweak    string `json:"tweak"`
-	Seeds    int    `json:"seeds"`
-	IPC      Dist   `json:"ipc"`
-	Wasted   Dist   `json:"wasted_energy"`
-	Flushes  Dist   `json:"flushes"`
+	// Policy names the IFetch policy the cell covers.
+	Policy string `json:"policy"`
+	// Tweak labels the cell's machine point.
+	Tweak string `json:"tweak"`
+	// Seeds is how many per-seed records the cell folds.
+	Seeds int `json:"seeds"`
+	// IPC is system throughput, the paper's headline metric.
+	IPC Dist `json:"ipc"`
+	// Wasted is the Figure 11 wasted-energy metric.
+	Wasted Dist `json:"wasted_energy"`
+	// Flushes counts FLUSH events across the chip.
+	Flushes Dist `json:"flushes"`
 }
 
 // Aggregate groups records into (workload, policy, tweak) cells in

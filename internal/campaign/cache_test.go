@@ -1,0 +1,335 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/simtest"
+)
+
+func testJobs(t *testing.T, seeds ...uint64) []Job {
+	t.Helper()
+	jobs, err := Spec{
+		Workloads: []string{"2W1"},
+		Policies:  []string{"ICOUNT", "MFLUSH"},
+		Seeds:     seeds,
+		Cycles:    1000,
+	}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	r := simtest.New()
+	r.Gate = make(chan struct{})
+	c := NewCache(nil, r.Run)
+	jobs := testJobs(t, 1)
+
+	const callers = 8
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	recs := make([][]Record, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for _, j := range jobs {
+				rec, hit, err := c.Do(context.Background(), j)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if hit {
+					hits.Add(1)
+				}
+				recs[i] = append(recs[i], rec)
+			}
+		}(i)
+	}
+	// Let callers pile up on the first in-flight job, then release.
+	for r.Total() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(r.Gate)
+	wg.Wait()
+
+	if got := r.Max(); got != 1 {
+		t.Fatalf("a job ran %d times, want exactly 1", got)
+	}
+	if got := r.Total(); got != len(jobs) {
+		t.Fatalf("%d simulator invocations for %d distinct jobs", got, len(jobs))
+	}
+	want := int64(callers*len(jobs) - len(jobs))
+	if hits.Load() != want {
+		t.Fatalf("hits = %d, want %d", hits.Load(), want)
+	}
+	for i := 1; i < callers; i++ {
+		for k := range recs[0] {
+			if !reflect.DeepEqual(recs[i][k], recs[0][k]) {
+				t.Fatalf("caller %d record %d differs: %+v vs %+v", i, k, recs[i][k], recs[0][k])
+			}
+		}
+	}
+	hitN, missN := c.Stats()
+	if missN != uint64(len(jobs)) || hitN != uint64(want) {
+		t.Fatalf("Stats = %d hits %d misses, want %d/%d", hitN, missN, want, len(jobs))
+	}
+}
+
+func TestCachePersistsAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	store, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := simtest.New()
+	c1 := NewCache(store, r1.Run)
+	jobs := testJobs(t, 1, 2)
+	var first []Record
+	for _, j := range jobs {
+		rec, hit, err := c1.Do(context.Background(), j)
+		if err != nil || hit {
+			t.Fatalf("cold Do: hit=%v err=%v", hit, err)
+		}
+		first = append(first, rec)
+	}
+	if c1.Len() != len(jobs) {
+		t.Fatalf("Len = %d, want %d", c1.Len(), len(jobs))
+	}
+	store.Close()
+
+	// A new process: fresh cache over the reopened store must serve every
+	// job without a single simulator invocation.
+	store2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	r2 := simtest.New()
+	c2 := NewCache(store2, r2.Run)
+	for i, j := range jobs {
+		rec, hit, err := c2.Do(context.Background(), j)
+		if err != nil || !hit {
+			t.Fatalf("warm Do: hit=%v err=%v", hit, err)
+		}
+		if !reflect.DeepEqual(rec, first[i]) {
+			t.Fatalf("restart changed record %d: %+v vs %+v", i, rec, first[i])
+		}
+	}
+	if r2.Total() != 0 {
+		t.Fatalf("restart re-simulated %d jobs", r2.Total())
+	}
+	if keys := store2.Keys(); len(keys) != len(jobs) {
+		t.Fatalf("store index has %d keys, want %d", len(keys), len(jobs))
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	r := simtest.New()
+	r.Fail = true
+	c := NewCache(nil, r.Run)
+	j := testJobs(t, 1)[0]
+	if _, _, err := c.Do(context.Background(), j); err == nil {
+		t.Fatal("failed run reported no error")
+	}
+	r.Fail = false
+	rec, hit, err := c.Do(context.Background(), j)
+	if err != nil {
+		t.Fatalf("retry after failure: %v", err)
+	}
+	if hit {
+		t.Fatal("failure was cached as a result")
+	}
+	if rec.Key != j.Key() {
+		t.Fatalf("retry record key = %q, want %q", rec.Key, j.Key())
+	}
+	if r.Total() != 2 {
+		t.Fatalf("runner called %d times, want 2 (failure + retry)", r.Total())
+	}
+}
+
+func TestCacheWaiterHonoursContext(t *testing.T) {
+	r := simtest.New()
+	r.Gate = make(chan struct{})
+	c := NewCache(nil, r.Run)
+	j := testJobs(t, 1)[0]
+
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		if _, _, err := c.Do(context.Background(), j); err != nil {
+			t.Error(err)
+		}
+	}()
+	for r.Total() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Do(ctx, j); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", err)
+	}
+	close(r.Gate)
+	<-leaderDone
+}
+
+func TestCacheRelabelsTweak(t *testing.T) {
+	r := simtest.New()
+	c := NewCache(nil, r.Run)
+	mk := func(name string) Job {
+		jobs, err := Spec{
+			Workloads: []string{"2W1"}, Policies: []string{"ICOUNT"},
+			Cycles: 1000,
+			Tweaks: []Tweak{{Name: name, MSHREntries: 4}},
+		}.Jobs()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return jobs[0]
+	}
+	if _, _, err := c.Do(context.Background(), mk("small-mshr")); err != nil {
+		t.Fatal(err)
+	}
+	rec, hit, err := c.Do(context.Background(), mk("mshr4"))
+	if err != nil || !hit {
+		t.Fatalf("renamed tweak missed the cache: hit=%v err=%v", hit, err)
+	}
+	if rec.Tweak != "mshr4" {
+		t.Fatalf("cached record kept stale label %q", rec.Tweak)
+	}
+}
+
+func TestRunCachedSharedScheduler(t *testing.T) {
+	r := simtest.New()
+	c := NewCache(nil, r.Run)
+	sched := NewShared(4)
+	jobs := testJobs(t, 1, 2, 3)
+
+	// Two concurrent identical campaigns on the shared scheduler: every
+	// job must simulate exactly once, and both must see identical records
+	// in job order.
+	var wg sync.WaitGroup
+	out := make([][]Record, 2)
+	errs := make([]error, 2)
+	progress := make([]int, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i], errs[i] = sched.RunCached(context.Background(), jobs, c,
+				func(p Progress) { progress[i]++ })
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < 2; i++ {
+		if errs[i] != nil {
+			t.Fatalf("campaign %d: %v", i, errs[i])
+		}
+		if progress[i] != len(jobs) {
+			t.Fatalf("campaign %d reported %d progress events, want %d", i, progress[i], len(jobs))
+		}
+	}
+	if got := r.Max(); got != 1 {
+		t.Fatalf("a job simulated %d times across concurrent campaigns, want 1", got)
+	}
+	if r.Total() != len(jobs) {
+		t.Fatalf("%d simulations for %d distinct jobs", r.Total(), len(jobs))
+	}
+	for k := range out[0] {
+		if !reflect.DeepEqual(out[0][k], out[1][k]) {
+			t.Fatalf("campaign records diverge at %d: %+v vs %+v", k, out[0][k], out[1][k])
+		}
+	}
+}
+
+func TestRunCachedCancellation(t *testing.T) {
+	r := simtest.New()
+	r.Gate = make(chan struct{})
+	c := NewCache(nil, r.Run)
+	sched := &Scheduler{Workers: 1}
+	jobs := testJobs(t, 1, 2, 3)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	var recs []Record
+	var err error
+	go func() {
+		defer close(done)
+		recs, err = sched.RunCached(ctx, jobs, c, nil)
+	}()
+	for r.Total() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(r.Gate)
+	<-done
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunCached returned %v", err)
+	}
+	// The in-flight job finished and is cached; jobs never started stay
+	// zero-valued in the result slice.
+	if recs[0].Key == "" {
+		t.Fatal("in-flight job's record lost on cancellation")
+	}
+}
+
+// TestRunCachedServesHitsWithoutSlots: a fully-cached campaign must
+// complete even while every shared simulation slot is occupied — cache
+// hits are resolved before slot acquisition, not queued behind
+// long-running simulations.
+func TestRunCachedServesHitsWithoutSlots(t *testing.T) {
+	r := simtest.New()
+	c := NewCache(nil, r.Run)
+	sched := NewShared(1)
+	cachedJobs := testJobs(t, 1)
+	if _, err := sched.RunCached(context.Background(), cachedJobs, c, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Occupy the only slot with a gated simulation of a different job.
+	r.Gate = make(chan struct{})
+	blockerJobs, err := Spec{
+		Workloads: []string{"2W3"}, Policies: []string{"ICOUNT"}, Cycles: 1000,
+	}.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockerDone := make(chan struct{})
+	go func() {
+		defer close(blockerDone)
+		sched.RunCached(context.Background(), blockerJobs, c, nil)
+	}()
+	for r.Total() == len(cachedJobs) {
+		time.Sleep(time.Millisecond)
+	}
+
+	// The cached campaign completes while the slot is still held.
+	done := make(chan struct{})
+	var recs []Record
+	go func() {
+		defer close(done)
+		recs, err = sched.RunCached(context.Background(), cachedJobs, c, nil)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fully-cached campaign blocked behind a busy simulation slot")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(cachedJobs) || recs[0].Key == "" {
+		t.Fatalf("cached campaign records = %+v", recs)
+	}
+	close(r.Gate)
+	<-blockerDone
+}

@@ -132,6 +132,7 @@ type Spec struct {
 	Tweaks []Tweak `json:"tweaks,omitempty"`
 	// Cycles and Warmup are per-simulation budgets (sim.Options).
 	Cycles uint64 `json:"cycles"`
+	// Warmup cycles run first and are excluded from measurement.
 	Warmup uint64 `json:"warmup"`
 }
 
@@ -233,12 +234,18 @@ func (s Spec) Jobs() ([]Job, error) {
 
 // Job is one fully specified simulation of a campaign.
 type Job struct {
+	// Workload selects the benchmark mix.
 	Workload workload.Workload
-	Policy   sim.PolicySpec
-	Tweak    Tweak
-	Seed     uint64
-	Cycles   uint64
-	Warmup   uint64
+	// Policy is the IFetch policy under evaluation.
+	Policy sim.PolicySpec
+	// Tweak is the machine point (zero: the paper's baseline).
+	Tweak Tweak
+	// Seed drives workload synthesis.
+	Seed uint64
+	// Cycles is the measured window.
+	Cycles uint64
+	// Warmup runs before the measured window, unmeasured.
+	Warmup uint64
 }
 
 // Key is a content hash of every parameter that determines the job's

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -12,8 +13,10 @@ import (
 // Progress reports one finished (or skipped) job to the scheduler's
 // callback. Done counts both, so Done == Total when the campaign ends.
 type Progress struct {
+	// Done counts jobs finished so far out of Total.
 	Done, Total int
-	Job         Job
+	// Job is the job this report is about.
+	Job Job
 	// Cached marks a job skipped because its key was already in the
 	// store (a resumed campaign).
 	Cached bool
@@ -35,6 +38,25 @@ type Scheduler struct {
 	Runner func(sim.Options) (*sim.Result, error)
 	// OnProgress, when set, is called serially after every job.
 	OnProgress func(Progress)
+
+	// slots, when non-nil (NewShared), bounds total concurrency across
+	// every concurrent Run/RunCached call on this scheduler, so a daemon
+	// serving many campaigns at once never exceeds one machine-wide
+	// parallelism budget.
+	slots chan struct{}
+}
+
+// NewShared returns a scheduler whose total parallelism across all
+// concurrent Run and RunCached calls is bounded by workers (<= 0:
+// GOMAXPROCS) — the shape a long-running daemon needs, where each
+// client campaign runs in its own goroutine but simulations compete for
+// one shared slot pool. A plain Scheduler value bounds each call
+// independently instead.
+func NewShared(workers int) *Scheduler {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Scheduler{Workers: workers, slots: make(chan struct{}, workers)}
 }
 
 // Run executes jobs, returning one record per job in job order. Jobs
@@ -55,19 +77,11 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job, store *Store) ([]Record
 	}
 
 	records := make([]Record, len(jobs))
-
-	var progressMu sync.Mutex
-	done := 0
-	report := func(p Progress) {
-		progressMu.Lock()
-		done++
-		p.Done, p.Total = done, len(jobs)
-		cb := s.OnProgress
-		if cb != nil {
+	report := newReporter(len(jobs), func(p Progress) {
+		if cb := s.OnProgress; cb != nil {
 			cb(p)
 		}
-		progressMu.Unlock()
-	}
+	})
 
 	// Resolve cached jobs up front so workers only see real work. Job
 	// keys hash tweak content, not the display name, so a cached record
@@ -86,7 +100,7 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job, store *Store) ([]Record
 		pending = append(pending, i)
 	}
 
-	errs := runPool(ctx, workers, len(jobs), pending, func(i int) error {
+	errs := runPool(ctx, workers, s.slots, len(jobs), pending, func(i int) error {
 		j := jobs[i]
 		res, err := runner(j.Options())
 		if err != nil {
@@ -107,23 +121,103 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job, store *Store) ([]Record
 		report(Progress{Job: j})
 		return nil
 	})
+	return records, firstError(jobs, errs)
+}
 
-	// First simulation failure in job order wins; a bare cancellation
-	// (no sim error) reports ctx.Err.
+// RunCached executes jobs through cache, returning one record per job in
+// job order exactly as Run does, but with single-flight semantics: a job
+// whose key is already cached (or in flight in another concurrent
+// RunCached call on the same cache) is served without a fresh
+// simulation and reported with Progress.Cached set. onProgress, when
+// non-nil, is called serially after every job — per call, unlike the
+// scheduler-wide OnProgress, because a shared scheduler runs many
+// campaigns at once and each needs its own progress stream. Cancelling
+// ctx stops scheduling new jobs; in-flight simulations finish (and are
+// persisted by the cache) and RunCached returns ctx.Err() unless a
+// simulation failed first.
+func (s *Scheduler) RunCached(ctx context.Context, jobs []Job, cache *Cache, onProgress func(Progress)) ([]Record, error) {
+	workers := s.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	records := make([]Record, len(jobs))
+	report := newReporter(len(jobs), func(p Progress) {
+		if onProgress != nil {
+			onProgress(p)
+		}
+	})
+
+	// Serve completed cache entries up front, before competing for
+	// worker or shared-simulation slots: a fully-cached campaign
+	// completes instantly even while every slot is busy simulating.
+	// In-flight joins still go through the pool (they must wait anyway).
+	var pending []int
+	for i, j := range jobs {
+		if rec, ok := cache.Lookup(j); ok {
+			records[i] = rec
+			report(Progress{Job: j, Cached: true})
+			continue
+		}
+		pending = append(pending, i)
+	}
+	errs := runPool(ctx, workers, s.slots, len(jobs), pending, func(i int) error {
+		j := jobs[i]
+		rec, hit, err := cache.Do(ctx, j)
+		if err != nil {
+			// A cancelled wait on another caller's in-flight run is not a
+			// job failure: leave it unreported, like a job cancellation
+			// skipped before it started, so progress consumers never count
+			// a clean cancel as a simulation error.
+			if !isCtxErr(err) {
+				report(Progress{Job: j, Err: err})
+			}
+			return err
+		}
+		records[i] = rec
+		report(Progress{Job: j, Cached: hit})
+		return nil
+	})
+	return records, firstError(jobs, errs)
+}
+
+// newReporter serialises progress callbacks and stamps each report with
+// its position: cb runs under one mutex, so campaign consumers never
+// need their own ordering.
+func newReporter(total int, cb func(Progress)) func(Progress) {
+	var mu sync.Mutex
+	done := 0
+	return func(p Progress) {
+		mu.Lock()
+		done++
+		p.Done, p.Total = done, total
+		cb(p)
+		mu.Unlock()
+	}
+}
+
+// isCtxErr distinguishes cancellation from real failure.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// firstError folds the pool's per-index errors: the first real
+// simulation failure in job order wins; bare cancellations (no sim
+// error) collapse into the context's own error.
+func firstError(jobs []Job, errs []error) error {
 	var ctxErr error
 	for i, err := range errs {
 		if err == nil {
 			continue
 		}
-		if err == context.Canceled || err == context.DeadlineExceeded {
+		if isCtxErr(err) {
 			if ctxErr == nil {
 				ctxErr = err
 			}
 			continue
 		}
-		return records, fmt.Errorf("campaign: %s: %w", jobs[i], err)
+		return fmt.Errorf("campaign: %s: %w", jobs[i], err)
 	}
-	return records, ctxErr
+	return ctxErr
 }
 
 // RunAll executes raw sim.Options concurrently (bounded by GOMAXPROCS)
@@ -136,7 +230,7 @@ func RunAll(ctx context.Context, opts []sim.Options) ([]*sim.Result, error) {
 	for i := range all {
 		all[i] = i
 	}
-	errs := runPool(ctx, runtime.GOMAXPROCS(0), len(opts), all, func(i int) error {
+	errs := runPool(ctx, runtime.GOMAXPROCS(0), nil, len(opts), all, func(i int) error {
 		var err error
 		results[i], err = sim.Run(opts[i])
 		return err
@@ -153,8 +247,10 @@ func RunAll(ctx context.Context, opts []sim.Options) ([]*sim.Result, error) {
 // runPool is the shared bounded worker pool: it executes fn(i) for each
 // listed index on workers goroutines and returns n per-index errors.
 // Once ctx is cancelled, indices not yet started record ctx.Err()
-// without running fn; work already in flight finishes.
-func runPool(ctx context.Context, workers, n int, indices []int, fn func(int) error) []error {
+// without running fn; work already in flight finishes. When slots is
+// non-nil (a shared scheduler), each fn call additionally holds one slot
+// for its duration, bounding total parallelism across concurrent pools.
+func runPool(ctx context.Context, workers int, slots chan struct{}, n int, indices []int, fn func(int) error) []error {
 	errs := make([]error, n)
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
@@ -167,7 +263,18 @@ func runPool(ctx context.Context, workers, n int, indices []int, fn func(int) er
 					errs[i] = err
 					continue
 				}
+				if slots != nil {
+					select {
+					case slots <- struct{}{}:
+					case <-ctx.Done():
+						errs[i] = ctx.Err()
+						continue
+					}
+				}
 				errs[i] = fn(i)
+				if slots != nil {
+					<-slots
+				}
 			}
 		}()
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 
 	"repro/internal/sim"
@@ -14,12 +15,18 @@ import (
 // aggregation layer groups by, and the full simulation summary. Stores
 // hold one JSON record per line.
 type Record struct {
-	Key      string      `json:"key"`
-	Workload string      `json:"workload"`
-	Policy   string      `json:"policy"`
-	Tweak    string      `json:"tweak"`
-	Seed     uint64      `json:"seed"`
-	Summary  sim.Summary `json:"summary"`
+	// Key is the job's content hash (Job.Key).
+	Key string `json:"key"`
+	// Workload names the benchmark mix (aggregation identity).
+	Workload string `json:"workload"`
+	// Policy names the IFetch policy (aggregation identity).
+	Policy string `json:"policy"`
+	// Tweak labels the machine point (aggregation identity).
+	Tweak string `json:"tweak"`
+	// Seed is the synthesis seed the record was measured under.
+	Seed uint64 `json:"seed"`
+	// Summary is the full simulation digest.
+	Summary sim.Summary `json:"summary"`
 }
 
 // Store persists campaign results as append-only JSONL keyed by job
@@ -90,6 +97,20 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.recs)
+}
+
+// Keys returns every completed job key in sorted order — the store's
+// content-addressed index (Cache.Keys serves it to the daemon's cache
+// endpoint).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]string, 0, len(s.recs))
+	for k := range s.recs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Get returns the record for a job key, if completed.

@@ -1,8 +1,10 @@
 package campaign
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/sim"
@@ -120,8 +122,16 @@ func TestStoreRejectsMidFileCorruption(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenStore(path); err == nil {
+	_, err = OpenStore(path)
+	if err == nil {
 		t.Fatal("mid-file corruption silently accepted")
+	}
+	// The refusal must tell the user where the damage is and that this
+	// is not the (auto-repaired) torn-tail case.
+	for _, want := range []string{"corrupt record at byte 0", "not a torn tail", "repair or remove"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("corruption error %q does not mention %q", err, want)
+		}
 	}
 	after, err := os.ReadFile(path)
 	if err != nil {
@@ -129,5 +139,64 @@ func TestStoreRejectsMidFileCorruption(t *testing.T) {
 	}
 	if len(after) != len(data) {
 		t.Fatalf("failed open modified the file: %d -> %d bytes", len(data), len(after))
+	}
+}
+
+// TestStoreRejectsCorruptionBetweenValidLines: damage in the middle of
+// the file must fail the open even though every line after it is valid —
+// truncating at the damage would silently drop that completed work.
+func TestStoreRejectsCorruptionBetweenValidLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range []string{"k1", "k2", "k3"} {
+		if err := s.Append(testRecord(key, "2W1", "ICOUNT", uint64(i), 1.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if len(lines) < 3 {
+		t.Fatalf("store layout: %d lines", len(lines))
+	}
+	// Replace the middle record with a newline-terminated non-JSON line.
+	lines[1] = []byte("!! damaged by an editor !!\n")
+	if err := os.WriteFile(path, bytes.Join(lines, nil), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenStore(path); err == nil {
+		t.Fatal("middle-of-file damage with a valid tail silently accepted")
+	}
+}
+
+// TestStoreRejectsKeylessRecord: a syntactically valid JSON line without
+// a job key can never be matched to a job; treating it as data would
+// hide the damage, so opening refuses it like any other corruption.
+func TestStoreRejectsKeylessRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(testRecord("k1", "2W1", "ICOUNT", 1, 1.5)); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"workload":"2W1","policy":"ICOUNT"}` + "\n")
+	f.Close()
+	if _, err := OpenStore(path); err == nil {
+		t.Fatal("keyless record silently accepted")
 	}
 }

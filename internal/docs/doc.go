@@ -1,0 +1,7 @@
+// Package docs holds no runtime code: its tests are the repository's
+// documentation checks. They verify that every relative markdown link
+// (and intra-repo anchor) in the user-facing docs resolves, and that
+// every exported identifier in the service-facing packages
+// (internal/server, internal/campaign) carries a doc comment. CI runs
+// them via `make docscheck` and with the ordinary test suite.
+package docs

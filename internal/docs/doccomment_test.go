@@ -1,0 +1,105 @@
+package docs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// documentedPackages are the packages whose exported surface is an API
+// for other people (service clients, spec writers): every exported
+// identifier there must carry a doc comment.
+var documentedPackages = []string{
+	"internal/server",
+	"internal/campaign",
+}
+
+// TestExportedIdentifiersDocumented parses each package (tests
+// excluded) and reports every exported type, function, method,
+// constant, variable and struct field that lacks a doc comment.
+func TestExportedIdentifiersDocumented(t *testing.T) {
+	root := repoRoot(t)
+	for _, pkg := range documentedPackages {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, filepath.Join(root, pkg), func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		for _, p := range pkgs {
+			for file, f := range p.Files {
+				checkFile(t, fset, filepath.Base(file), f)
+			}
+		}
+	}
+}
+
+func checkFile(t *testing.T, fset *token.FileSet, file string, f *ast.File) {
+	report := func(pos token.Pos, what, name string) {
+		t.Errorf("%s:%d: exported %s %s has no doc comment",
+			file, fset.Position(pos).Line, what, name)
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Doc == nil {
+				kind := "function"
+				if d.Recv != nil {
+					kind = "method"
+				}
+				report(d.Pos(), kind, d.Name.Name)
+			}
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if !sp.Name.IsExported() {
+						continue
+					}
+					if d.Doc == nil && sp.Doc == nil {
+						report(sp.Pos(), "type", sp.Name.Name)
+					}
+					if st, ok := sp.Type.(*ast.StructType); ok {
+						checkFields(t, fset, file, sp.Name.Name, st)
+					}
+				case *ast.ValueSpec:
+					for _, name := range sp.Names {
+						if !name.IsExported() {
+							continue
+						}
+						// A doc comment on the grouped decl ("Campaign
+						// lifecycle states ...") or the spec suffices.
+						if d.Doc == nil && sp.Doc == nil && sp.Comment == nil {
+							report(name.Pos(), "value", name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkFields requires a doc (or trailing line) comment on every
+// exported struct field: these are the JSON schema of the service API
+// and the campaign spec format.
+func checkFields(t *testing.T, fset *token.FileSet, file, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if !name.IsExported() {
+				continue
+			}
+			if field.Doc == nil && field.Comment == nil {
+				t.Errorf("%s:%d: exported field %s.%s has no doc comment",
+					file, fset.Position(name.Pos()).Line, typeName, name.Name)
+			}
+		}
+	}
+}

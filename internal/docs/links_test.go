@@ -1,0 +1,157 @@
+package docs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// checkedDocs are the user-facing documents whose links must resolve.
+var checkedDocs = []string{
+	"README.md",
+	"CAMPAIGNS.md",
+	"ARCHITECTURE.md",
+	"API.md",
+}
+
+// repoRoot walks up from the working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above the test directory")
+		}
+		dir = parent
+	}
+}
+
+// linkRe matches inline markdown links [text](target). Images and
+// reference-style links are not used in this repository's docs.
+var linkRe = regexp.MustCompile(`\[[^\]\n]*\]\(([^)\s]+)\)`)
+
+// TestMarkdownLinksResolve fails on any relative link whose target file
+// is missing, and on any intra-repo anchor that does not correspond to
+// a heading in the target document. External http(s) links are only
+// checked for well-formedness (CI has no network).
+func TestMarkdownLinksResolve(t *testing.T) {
+	root := repoRoot(t)
+	for _, doc := range checkedDocs {
+		path := filepath.Join(root, doc)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("%s: required doc missing: %v", doc, err)
+			continue
+		}
+		text := stripCodeBlocks(string(data))
+		for _, m := range linkRe.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"):
+				continue // external; existence is not checkable offline
+			case strings.HasPrefix(target, "#"):
+				if !anchorExists(string(data), target[1:]) {
+					t.Errorf("%s: dangling anchor %q", doc, target)
+				}
+			default:
+				file, anchor, _ := strings.Cut(target, "#")
+				dest := filepath.Join(root, file)
+				destData, err := os.ReadFile(dest)
+				if err != nil {
+					t.Errorf("%s: broken link %q: %v", doc, target, err)
+					continue
+				}
+				if anchor != "" && !anchorExists(string(destData), anchor) {
+					t.Errorf("%s: link %q: no heading for anchor %q in %s", doc, target, anchor, file)
+				}
+			}
+		}
+	}
+}
+
+// stripCodeBlocks removes fenced code blocks so example snippets (shell
+// output, JSON) cannot produce false link matches.
+func stripCodeBlocks(text string) string {
+	var out strings.Builder
+	inFence := false
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if !inFence {
+			out.WriteString(line)
+			out.WriteByte('\n')
+		}
+	}
+	return out.String()
+}
+
+// anchorExists reports whether a markdown document contains a heading
+// whose GitHub-style slug equals anchor.
+func anchorExists(doc, anchor string) bool {
+	for _, line := range strings.Split(stripCodeBlocks(doc), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		heading := strings.TrimLeft(trimmed, "#")
+		if slugify(heading) == anchor {
+			return true
+		}
+	}
+	return false
+}
+
+// slugify approximates GitHub's heading-anchor algorithm: lowercase,
+// markdown emphasis/code markers dropped, spaces to hyphens, and all
+// other punctuation removed.
+func slugify(heading string) string {
+	heading = strings.TrimSpace(heading)
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-', r == '_':
+			b.WriteRune(r)
+			// every other rune (`, *, (, ), ., /, …) is dropped
+		}
+	}
+	return b.String()
+}
+
+// TestDocsCrossLinked asserts the documentation graph stays connected:
+// the README links every other checked doc, and CAMPAIGNS/API link back.
+func TestDocsCrossLinked(t *testing.T) {
+	root := repoRoot(t)
+	wantLinks := map[string][]string{
+		"README.md":       {"ARCHITECTURE.md", "CAMPAIGNS.md", "API.md"},
+		"CAMPAIGNS.md":    {"README.md", "API.md", "ARCHITECTURE.md"},
+		"API.md":          {"CAMPAIGNS.md", "ARCHITECTURE.md"},
+		"ARCHITECTURE.md": {"README.md", "CAMPAIGNS.md", "API.md"},
+	}
+	for doc, targets := range wantLinks {
+		data, err := os.ReadFile(filepath.Join(root, doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, want := range targets {
+			if !strings.Contains(string(data), fmt.Sprintf("(%s", want)) {
+				t.Errorf("%s does not link %s", doc, want)
+			}
+		}
+	}
+}

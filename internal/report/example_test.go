@@ -1,0 +1,30 @@
+package report_test
+
+import (
+	"os"
+
+	"repro/internal/report"
+)
+
+// ExampleTable builds a small table and renders it in the three wire
+// formats the toolchain uses: aligned text, CSV and JSON rows.
+func ExampleTable() {
+	t := report.NewTable("workload", "policy", "ipc")
+	t.Row("2W3", "ICOUNT", 0.431)
+	t.Row("2W3", "MFLUSH", 0.558)
+
+	t.WriteTo(os.Stdout)
+	t.WriteCSV(os.Stdout)
+	t.WriteJSON(os.Stdout)
+	// Output:
+	// workload  policy  ipc
+	// 2W3       ICOUNT  0.431
+	// 2W3       MFLUSH  0.558
+	// workload,policy,ipc
+	// 2W3,ICOUNT,0.431
+	// 2W3,MFLUSH,0.558
+	// [
+	//   {"workload":"2W3","policy":"ICOUNT","ipc":"0.431"},
+	//   {"workload":"2W3","policy":"MFLUSH","ipc":"0.558"}
+	// ]
+}

@@ -5,6 +5,7 @@ package report
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -82,6 +83,53 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// WriteJSON renders the table as a JSON array of objects, one per row,
+// keyed by the column headers in column order (not Go's sorted-map
+// order), with the same cell formatting as WriteTo — the generic wire
+// encoding mflushd serves to clients that want rows without learning a
+// result-specific schema. Rows longer than the header are an error; a
+// short row simply omits its missing columns.
+func (t *Table) WriteJSON(w io.Writer) error {
+	if len(t.header) == 0 {
+		return fmt.Errorf("report: JSON table needs column headers")
+	}
+	keys := make([][]byte, len(t.header))
+	for i, h := range t.header {
+		k, err := json.Marshal(h)
+		if err != nil {
+			return err
+		}
+		keys[i] = k
+	}
+	var b []byte
+	b = append(b, '[')
+	for r, row := range t.rows {
+		if len(row) > len(t.header) {
+			return fmt.Errorf("report: row %d has %d cells for %d columns", r, len(row), len(t.header))
+		}
+		if r > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, "\n  {"...)
+		for i, cell := range row {
+			if i > 0 {
+				b = append(b, ',')
+			}
+			v, err := json.Marshal(cell)
+			if err != nil {
+				return err
+			}
+			b = append(b, keys[i]...)
+			b = append(b, ':')
+			b = append(b, v...)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, "\n]\n"...)
+	_, err := w.Write(b)
+	return err
 }
 
 // String renders the table to a string.

@@ -1,6 +1,8 @@
 package report
 
 import (
+	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 )
@@ -179,5 +181,56 @@ func TestPct(t *testing.T) {
 	}
 	if got := Pct(-0.05); got != "-5.0%" {
 		t.Fatalf("Pct = %q", got)
+	}
+}
+
+func TestTableWriteJSON(t *testing.T) {
+	tb := NewTable("workload", "ipc")
+	tb.Row("2W3", 1.234567)
+	tb.Row("8W3", 0.5)
+	var b strings.Builder
+	if err := tb.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "[\n" +
+		"  {\"workload\":\"2W3\",\"ipc\":\"1.235\"},\n" +
+		"  {\"workload\":\"8W3\",\"ipc\":\"0.500\"}\n" +
+		"]\n"
+	if b.String() != want {
+		t.Fatalf("WriteJSON:\n%s\nwant:\n%s", b.String(), want)
+	}
+	var decoded []map[string]string
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if len(decoded) != 2 || decoded[1]["workload"] != "8W3" {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+}
+
+func TestTableWriteJSONNeedsHeader(t *testing.T) {
+	tb := &Table{}
+	tb.Row("x")
+	if err := tb.WriteJSON(io.Discard); err == nil {
+		t.Fatal("headerless table encoded to JSON")
+	}
+}
+
+func TestTableWriteJSONRejectsWideRow(t *testing.T) {
+	tb := NewTable("only")
+	tb.RowF("a", "b")
+	if err := tb.WriteJSON(io.Discard); err == nil {
+		t.Fatal("row wider than header encoded to JSON")
+	}
+}
+
+func TestTableWriteJSONEmpty(t *testing.T) {
+	tb := NewTable("a", "b")
+	var b strings.Builder
+	if err := tb.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != "[\n]\n" {
+		t.Fatalf("empty table = %q", b.String())
 	}
 }

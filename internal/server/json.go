@@ -1,0 +1,30 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// errorBody is the uniform error envelope: every non-2xx response is
+// {"error": "..."} so clients have one thing to parse.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes v as the response with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+// writeError writes the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,443 @@
+// Package server implements mflushd, the simulation-as-a-service
+// daemon: campaign Specs arrive over HTTP, expand through the campaign
+// engine, and execute on one shared bounded scheduler behind a
+// content-addressed result cache, so any job any client ever computed
+// is served without re-simulation — across concurrent campaigns and
+// across daemon restarts. API.md documents the wire protocol; cmd/mflushd
+// is the binary.
+//
+// The daemon degrades predictably under load: admission control bounds
+// the number of jobs in the system (excess submissions get 429 with a
+// Retry-After), and SIGTERM drains — in-flight simulations finish and
+// persist to the store, nothing new starts.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+)
+
+// Config assembles a daemon.
+type Config struct {
+	// Store backs the content-addressed result cache; nil serves from
+	// memory only (results then die with the process).
+	Store *campaign.Store
+	// Runner executes one simulation; nil means sim.Run. Tests inject
+	// counting, blocking or failing runners.
+	Runner func(sim.Options) (*sim.Result, error)
+	// Workers bounds simulation parallelism across ALL campaigns
+	// (<= 0: GOMAXPROCS) — one machine-wide budget, not per campaign.
+	Workers int
+	// MaxQueuedJobs bounds jobs admitted but not yet finished, across
+	// all campaigns; submissions that would exceed it get 429
+	// (<= 0: 1024). This is the daemon's explicit backpressure knob.
+	MaxQueuedJobs int
+	// MaxCampaigns bounds how many campaigns the registry retains
+	// (<= 0: 1000). When a submission would exceed it, the oldest
+	// *settled* campaigns are forgotten — their IDs start returning
+	// 404, but every computed result stays in the cache. Running
+	// campaigns are never evicted.
+	MaxCampaigns int
+}
+
+// Server is the mflushd HTTP handler plus the shared execution state
+// behind it. Create with New; it serves until Drain.
+type Server struct {
+	cache        *campaign.Cache
+	sched        *campaign.Scheduler
+	mux          *http.ServeMux
+	maxQueued    int
+	maxCampaigns int
+
+	// baseCtx parents every campaign context; stopAll cancels them all
+	// (drain). wg tracks campaign goroutines.
+	baseCtx context.Context
+	stopAll context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu        sync.Mutex
+	draining  bool
+	queued    int // jobs admitted, not yet finished (backpressure)
+	nextID    int
+	campaigns map[string]*run
+	order     []string // campaign IDs in admission order
+}
+
+// New builds a server from cfg. The returned Server is an http.Handler
+// serving root-anchored paths (/v1/..., /healthz) and returning
+// root-anchored URLs in responses, so mount it at the server root.
+func New(cfg Config) *Server {
+	maxQueued := cfg.MaxQueuedJobs
+	if maxQueued <= 0 {
+		maxQueued = 1024
+	}
+	maxCampaigns := cfg.MaxCampaigns
+	if maxCampaigns <= 0 {
+		maxCampaigns = 1000
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cache:        campaign.NewCache(cfg.Store, cfg.Runner),
+		sched:        campaign.NewShared(cfg.Workers),
+		maxQueued:    maxQueued,
+		maxCampaigns: maxCampaigns,
+		baseCtx:      ctx,
+		stopAll:      cancel,
+		campaigns:    make(map[string]*run),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
+	return s
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain stops accepting new campaigns (submissions get 503), cancels
+// every campaign's scheduling — simulations already in flight finish and
+// persist to the store, queued jobs never start — and waits for all
+// campaign goroutines to reach a terminal state, or for ctx to expire.
+// This is the SIGTERM path of cmd/mflushd.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	s.stopAll()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain: %w", ctx.Err())
+	}
+}
+
+// handleHealth is the liveness probe.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// submitResponse is the 202 body returned for an admitted campaign.
+type submitResponse struct {
+	ID   string `json:"id"`
+	Jobs int    `json:"jobs"`
+	// URLs are the campaign's API locations, for clients that prefer
+	// link-following over path construction.
+	StatusURL string `json:"status_url"`
+	EventsURL string `json:"events_url"`
+	ResultURL string `json:"result_url"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := campaign.ReadSpec(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Only jobs the cache cannot already serve occupy queue capacity:
+	// cached jobs cost no simulation, so a fully-cached campaign of any
+	// size is admitted even under load. (A job can only gain cache
+	// entries between here and execution, never lose them, so the charge
+	// is an upper bound.)
+	charged := make(map[string]bool)
+	for _, j := range jobs {
+		if !s.cache.Contains(j) {
+			charged[j.Key()] = true
+		}
+	}
+	// A campaign with more uncached jobs than the whole queue can never
+	// be admitted, so reject it permanently (no Retry-After) instead of
+	// telling the client to retry a request that cannot succeed.
+	if len(charged) > s.maxQueued {
+		writeError(w, http.StatusBadRequest,
+			"campaign expands to %d uncached jobs, more than the daemon's queue capacity %d; split the spec",
+			len(charged), s.maxQueued)
+		return
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new campaigns")
+		return
+	}
+	if s.queued+len(charged) > s.maxQueued {
+		queued := s.queued
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests,
+			"queue full: %d jobs queued, %d requested, limit %d; retry later",
+			queued, len(charged), s.maxQueued)
+		return
+	}
+	s.queued += len(charged)
+	s.nextID++
+	id := fmt.Sprintf("c%06d", s.nextID)
+	c := newRun(id, jobs, time.Now())
+	c.charged = charged
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	c.cancel = cancel
+	s.campaigns[id] = c
+	s.order = append(s.order, id)
+	s.evictLocked()
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go s.runCampaign(ctx, c)
+
+	base := "/v1/campaigns/" + id
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID: id, Jobs: len(jobs),
+		StatusURL: base, EventsURL: base + "/events", ResultURL: base + "/result",
+	})
+}
+
+// runCampaign executes one admitted campaign on the shared scheduler and
+// settles its terminal state.
+func (s *Server) runCampaign(ctx context.Context, c *run) {
+	defer s.wg.Done()
+	defer c.cancel() // release the context once settled
+	records, err := s.sched.RunCached(ctx, c.jobs, s.cache, func(p campaign.Progress) {
+		// Release the job's admission slot, if it was charged one (jobs
+		// already cached at submit never were). Callbacks are serialised,
+		// so the map needs no extra locking.
+		if key := p.Job.Key(); c.charged[key] {
+			delete(c.charged, key)
+			s.release(1)
+		}
+		if p.Err != nil {
+			// First failure abandons the campaign's remaining jobs: they
+			// would occupy queue slots and machine time for a result the
+			// client can no longer use whole. Jobs already simulated are
+			// in the cache, so a corrected resubmission reuses them.
+			c.cancel()
+		}
+		c.onProgress(p)
+	})
+	c.finish(records, err)
+	// Jobs skipped by cancellation produced no progress report; give any
+	// admission slots still charged to them back. The campaign is
+	// settled, so nothing else touches the map.
+	s.release(len(c.charged))
+}
+
+// evictLocked trims the registry to the retention bound by forgetting
+// the oldest settled campaigns; running campaigns are never evicted, so
+// the registry can transiently exceed the bound when everything is
+// still in flight. The caller holds s.mu.
+func (s *Server) evictLocked() {
+	if len(s.campaigns) <= s.maxCampaigns {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		settled := false
+		select {
+		case <-s.campaigns[id].finished:
+			settled = true
+		default:
+		}
+		if settled && len(s.campaigns) > s.maxCampaigns {
+			delete(s.campaigns, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// release returns n admission slots to the queue bound.
+func (s *Server) release(n int) {
+	if n == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.queued -= n
+	s.mu.Unlock()
+}
+
+// lookup resolves a campaign ID, writing the 404 itself on a miss.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *run {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	c := s.campaigns[id]
+	s.mu.Unlock()
+	if c == nil {
+		writeError(w, http.StatusNotFound, "no campaign %q", id)
+	}
+	return c
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, c.status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	statuses := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		statuses = append(statuses, s.campaigns[id].status())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string][]Status{"campaigns": statuses})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	// Idempotent: cancelling a settled campaign changes nothing.
+	c.cancel()
+	writeJSON(w, http.StatusAccepted, c.status())
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	st := c.status()
+	if st.State != StateDone {
+		writeError(w, http.StatusConflict,
+			"campaign %s is %s; results are served once it is %q", c.id, st.State, StateDone)
+		return
+	}
+	c.mu.Lock()
+	cells := c.cells
+	c.mu.Unlock()
+	// Encoding errors past this point are client-connection failures:
+	// headers are already sent, so there is nothing useful to report.
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		_ = campaign.WriteJSON(w, cells)
+	case "csv":
+		w.Header().Set("Content-Type", "text/csv")
+		_ = campaign.WriteCSV(w, cells)
+	case "table":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = campaign.Table(cells).WriteTo(w)
+	case "rows":
+		w.Header().Set("Content-Type", "application/json")
+		_ = campaign.Table(cells).WriteJSON(w)
+	default:
+		writeError(w, http.StatusBadRequest,
+			"unknown format %q (json, csv, table, rows)", format)
+	}
+}
+
+// handleEvents streams the campaign's progress as server-sent events: a
+// "status" snapshot on connect, a "progress" event per finished job, and
+// a terminal event named after the final state. The stream ends after
+// the terminal event.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	ch := c.subscribe()
+	defer c.unsubscribe(ch)
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	if writeSSE(w, sseEvent{name: "status", data: c.status()}) != nil {
+		return
+	}
+	fl.Flush()
+
+	for {
+		select {
+		case ev := <-ch:
+			if writeSSE(w, ev) != nil {
+				return
+			}
+			fl.Flush()
+			if ev.name != "progress" && ev.name != "status" {
+				return // terminal event delivered
+			}
+		case <-c.finished:
+			// Drain progress that raced with termination, then emit the
+			// terminal snapshot — guaranteed even if broadcasts dropped.
+			for {
+				select {
+				case ev := <-ch:
+					if writeSSE(w, ev) != nil {
+						return
+					}
+					if ev.name != "progress" && ev.name != "status" {
+						fl.Flush()
+						return
+					}
+				default:
+					st := c.status()
+					if writeSSE(w, sseEvent{name: st.State, data: st}) != nil {
+						return
+					}
+					fl.Flush()
+					return
+				}
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// cacheStatus is the /v1/cache body: the store index size and this
+// process's hit/miss counters, plus (with ?keys=1) the index itself.
+type cacheStatus struct {
+	// Entries is the number of distinct results the cache can serve.
+	Entries int `json:"entries"`
+	// Hits and Misses count this process's cache decisions.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Keys is the sorted content-addressed index, present only when the
+	// request asked for it.
+	Keys []string `json:"keys,omitempty"`
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	hits, misses := s.cache.Stats()
+	st := cacheStatus{Entries: s.cache.Len(), Hits: hits, Misses: misses}
+	if r.URL.Query().Get("keys") != "" {
+		st.Keys = s.cache.Keys()
+	}
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,27 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// sseEvent is one server-sent event: a name and a JSON-marshallable
+// payload (API.md documents each event's schema).
+type sseEvent struct {
+	name string
+	data any
+}
+
+// writeSSE encodes one event in the text/event-stream framing: an
+// "event:" line naming the event, a single "data:" line of JSON, and a
+// blank line terminator. The payloads are single-line JSON, so the
+// multi-line data continuation rules of the SSE spec never apply.
+func writeSSE(w io.Writer, ev sseEvent) error {
+	body, err := json.Marshal(ev.data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, body)
+	return err
+}

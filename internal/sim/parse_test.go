@@ -35,6 +35,31 @@ func TestParseSpecErrors(t *testing.T) {
 	}
 }
 
+// TestParseSpecErrorMessages pins the exact user-facing strings: they
+// surface verbatim in CLI errors, campaign-spec rejections and mflushd
+// 400 responses, so changing one is an interface change, not a cleanup.
+func TestParseSpecErrorMessages(t *testing.T) {
+	cases := map[string]string{
+		"FLUSH-S0":  `bad FLUSH trigger in "FLUSH-S0"`,
+		"fl-sx":     `bad FLUSH trigger in "fl-sx"`,
+		"STALL-S-5": `bad STALL trigger in "STALL-S-5"`,
+		"MFLUSH-H0": `bad MFLUSH history depth in "MFLUSH-H0"`,
+		"MFLUSH-Hx": `bad MFLUSH history depth in "MFLUSH-Hx"`,
+		"banana":    `unknown policy "banana" (ICOUNT, FLUSH-S<n>, FLUSH-NS, STALL-S<n>, MFLUSH, MFLUSH-H<n>)`,
+		"":          `unknown policy "" (ICOUNT, FLUSH-S<n>, FLUSH-NS, STALL-S<n>, MFLUSH, MFLUSH-H<n>)`,
+	}
+	for in, want := range cases {
+		_, err := ParseSpec(in)
+		if err == nil {
+			t.Errorf("ParseSpec(%q) accepted", in)
+			continue
+		}
+		if err.Error() != want {
+			t.Errorf("ParseSpec(%q) error = %q, want %q", in, err.Error(), want)
+		}
+	}
+}
+
 // TestParseSpecRoundTrips guards the CLI contract: every name String()
 // produces is re-parseable to the same spec.
 func TestParseSpecRoundTrips(t *testing.T) {

@@ -1,0 +1,77 @@
+// Package simtest provides the fake simulator runner shared by the
+// campaign and server test suites: deterministic results without
+// simulating, per-job invocation counts, and hooks to hold runs in
+// flight or fail them. Production code must not import it.
+package simtest
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Runner is an injectable sim.Run replacement. Configure Gate/Fail
+// before handing Run to a scheduler; Total/Max observe concurrently.
+type Runner struct {
+	mu    sync.Mutex
+	calls map[string]int
+	// Gate, when non-nil, blocks every run until the channel closes —
+	// used to provably hold jobs in flight while callers pile up.
+	Gate chan struct{}
+	// Fail makes every run return an error (after passing Gate).
+	Fail bool
+}
+
+// New returns an empty runner.
+func New() *Runner { return &Runner{calls: make(map[string]int)} }
+
+// Run counts the invocation, honours Gate/Fail, and returns a
+// deterministic fake result derived from the options.
+func (r *Runner) Run(o sim.Options) (*sim.Result, error) {
+	id := fmt.Sprintf("%s/%s/%d/%d", o.Workload.Name, o.Policy, o.Seed, o.Cycles)
+	r.mu.Lock()
+	r.calls[id]++
+	gate := r.Gate
+	r.mu.Unlock()
+	if gate != nil {
+		<-gate
+	}
+	if r.Fail {
+		return nil, errors.New("synthetic simulator failure")
+	}
+	return &sim.Result{
+		Workload:   o.Workload.Name,
+		Policy:     o.Policy.String(),
+		Cycles:     o.Cycles,
+		IPC:        1.0 + float64(o.Seed)/10,
+		HitLatency: stats.NewHistogram(8),
+	}, nil
+}
+
+// Total returns the number of simulator invocations so far.
+func (r *Runner) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, c := range r.calls {
+		n += c
+	}
+	return n
+}
+
+// Max returns the highest invocation count of any single job — 1 means
+// no job ever ran twice.
+func (r *Runner) Max() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := 0
+	for _, c := range r.calls {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
