@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test shorttest racetest vet bench bench-throughput docscheck
+.PHONY: build test shorttest racetest vet bench bench-throughput docscheck fuzzsmoke
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,18 @@ test:
 shorttest:
 	$(GO) test -short ./...
 
-# Race-checks the campaign scheduler's concurrency (mirrors the CI job).
+# Race-checks the campaign scheduler, the daemon's submit/cancel/SSE
+# churn and the cluster coordinator/worker concurrency (mirrors the CI
+# race job, which runs all of these on every push).
 racetest:
 	$(GO) test -race -short ./...
+
+# Fuzz smoke: run each native fuzz target briefly (the seed corpora are
+# also exercised as plain tests on every `make test`). Mirrors the CI
+# fuzz job.
+fuzzsmoke:
+	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/sim
+	$(GO) test -run '^$$' -fuzz FuzzReadSpec -fuzztime 10s ./internal/campaign
 
 vet:
 	$(GO) vet ./...

@@ -7,7 +7,14 @@
 // Usage:
 //
 //	mflushd [-addr :8080] [-store mflushd/results.jsonl] \
-//	        [-workers N] [-max-queue N] [-max-campaigns N] [-drain-timeout 60s]
+//	        [-workers N] [-max-queue N] [-max-campaigns N] [-drain-timeout 60s] \
+//	        [-cluster] [-lease-ttl 15s]
+//
+// With -cluster the daemon also coordinates a worker fleet: mflushworker
+// processes register over /v1/workers, lease jobs, and post results;
+// uncached jobs route to the fleet whenever live workers exist and run
+// locally otherwise. Leases of dead workers are re-issued after
+// -lease-ttl, so a killed worker never loses work.
 //
 // SIGTERM (or SIGINT) drains gracefully: new submissions get 503,
 // in-flight simulations finish and persist, then the daemon exits.
@@ -28,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cluster"
 	"repro/internal/server"
 )
 
@@ -47,6 +55,10 @@ func run() error {
 	maxCampaigns := flag.Int("max-campaigns", 1000, "settled campaigns retained for status/result queries")
 	drainTimeout := flag.Duration("drain-timeout", 60*time.Second,
 		"how long to wait for in-flight simulations on shutdown")
+	clusterMode := flag.Bool("cluster", false,
+		"coordinate an mflushworker fleet: serve /v1/workers and route jobs to live workers")
+	leaseTTL := flag.Duration("lease-ttl", cluster.DefaultLeaseTTL,
+		"drop fleet workers silent for this long and re-issue their leased jobs")
 	flag.Parse()
 
 	if dir := filepath.Dir(*storePath); dir != "." {
@@ -60,16 +72,26 @@ func run() error {
 	}
 	defer store.Close()
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Store:         store,
 		Workers:       *workers,
 		MaxQueuedJobs: *maxQueue,
 		MaxCampaigns:  *maxCampaigns,
-	})
+	}
+	if *clusterMode {
+		coord := cluster.NewCoordinator(cluster.Config{LeaseTTL: *leaseTTL})
+		defer coord.Close()
+		cfg.Cluster = coord
+	}
+	srv := server.New(cfg)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
-	log.Printf("mflushd: serving on %s (store %s, %d cached results)",
-		*addr, *storePath, store.Len())
+	mode := "single-process"
+	if *clusterMode {
+		mode = fmt.Sprintf("cluster coordinator, lease TTL %s", *leaseTTL)
+	}
+	log.Printf("mflushd: serving on %s (store %s, %d cached results, %s)",
+		*addr, *storePath, store.Len(), mode)
 
 	errCh := make(chan error, 1)
 	go func() {

@@ -1,0 +1,69 @@
+// Command mflushworker is a fleet worker for mflushd's cluster mode: it
+// registers with a coordinator daemon (mflushd -cluster), pulls leased
+// simulation jobs over HTTP, runs them on a local goroutine pool, and
+// posts the results back. Run any number of them, on any machines that
+// can reach the daemon; the coordinator re-issues the leases of workers
+// that die, so killing one mid-campaign costs nothing but time.
+//
+// Usage:
+//
+//	mflushworker [-coordinator http://127.0.0.1:8080] [-name HOST] \
+//	             [-capacity N] [-lease-wait 2s] [-quiet]
+//
+// SIGTERM (or SIGINT) drains gracefully: no new leases, in-flight
+// simulations finish and post, then the worker deregisters and exits.
+// API.md documents the /v1/workers protocol.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "mflushworker: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	coordinator := flag.String("coordinator", "http://127.0.0.1:8080", "mflushd base URL (must run with -cluster)")
+	name := flag.String("name", defaultName(), "worker label in fleet listings")
+	capacity := flag.Int("capacity", runtime.GOMAXPROCS(0), "parallel simulations (and lease batch size)")
+	leaseWait := flag.Duration("lease-wait", 2*time.Second, "long-poll duration when the job queue is empty")
+	quiet := flag.Bool("quiet", false, "suppress per-job logging")
+	flag.Parse()
+
+	w := &cluster.Worker{
+		Base:      *coordinator,
+		Name:      *name,
+		Capacity:  *capacity,
+		LeaseWait: *leaseWait,
+	}
+	if !*quiet {
+		w.Logf = log.Printf
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, os.Interrupt)
+	defer stop()
+	log.Printf("mflushworker: pulling from %s as %q (capacity %d)", *coordinator, *name, *capacity)
+	return w.Run(ctx)
+}
+
+// defaultName labels the worker with its hostname when available.
+func defaultName() string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "worker"
+}

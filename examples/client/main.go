@@ -63,6 +63,16 @@ func run(addr, specPath, format string) error {
 		spec = string(data)
 	}
 
+	// 0. If the daemon coordinates a worker fleet (-cluster), say so —
+	// the campaign's jobs will shard across it.
+	if fleet, ok := fetchFleet(addr); ok {
+		total := 0
+		for _, w := range fleet.Workers {
+			total += w.Capacity
+		}
+		fmt.Printf("fleet: %d workers, total capacity %d\n", len(fleet.Workers), total)
+	}
+
 	// 1. Submit the campaign.
 	resp, err := http.Post(addr+"/v1/campaigns", "application/json", strings.NewReader(spec))
 	if err != nil {
@@ -154,6 +164,34 @@ func follow(url string) (status, error) {
 		return status{}, err
 	}
 	return status{}, fmt.Errorf("event stream ended without a terminal event")
+}
+
+// fleet mirrors the GET /v1/workers body (see API.md).
+type fleet struct {
+	Workers []struct {
+		ID       string `json:"id"`
+		Name     string `json:"name"`
+		Capacity int    `json:"capacity"`
+	} `json:"workers"`
+	Pending int `json:"pending"`
+}
+
+// fetchFleet asks the daemon for its worker fleet; ok is false when the
+// daemon is not in cluster mode (404) or the fleet is empty.
+func fetchFleet(addr string) (fleet, bool) {
+	resp, err := http.Get(addr + "/v1/workers")
+	if err != nil {
+		return fleet{}, false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fleet{}, false
+	}
+	var f fleet
+	if err := json.NewDecoder(resp.Body).Decode(&f); err != nil || len(f.Workers) == 0 {
+		return fleet{}, false
+	}
+	return f, true
 }
 
 // decodeError surfaces the daemon's {"error": ...} envelope.

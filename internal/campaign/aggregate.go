@@ -4,11 +4,18 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 
 	"repro/internal/report"
 	"repro/internal/stats"
 )
+
+// cellKey is the composite aggregation identity; its lexicographic
+// order is the canonical cell order (workload, then policy, then tweak).
+func cellKey(r Record) string {
+	return r.Workload + "\x00" + r.Policy + "\x00" + r.Tweak
+}
 
 // Dist summarises one metric across the seeds of a cell.
 type Dist struct {
@@ -56,37 +63,43 @@ type Cell struct {
 }
 
 // Aggregate groups records into (workload, policy, tweak) cells in
-// first-appearance order — which is job order when the records come
-// from Scheduler.Run, so aggregate output is identical whether the
-// campaign ran straight through or resumed.
+// canonical order: cells sorted by workload, then policy, then tweak
+// label, and each cell's seeds folded in ascending seed order. The
+// canonicalisation makes the output a pure function of the record *set*
+// — two specs listing the same workloads, policies, seeds and tweaks in
+// any order aggregate byte-identically (floating-point folds included),
+// which is what lets resumed, re-ordered and fleet-distributed
+// campaigns all reproduce one another's bytes exactly.
 func Aggregate(recs []Record) []Cell {
-	type group struct {
-		cell                 Cell
-		ipc, wasted, flushes []float64
-	}
-	var order []string
-	groups := make(map[string]*group)
-	for _, r := range recs {
-		k := r.Workload + "\x00" + r.Policy + "\x00" + r.Tweak
-		g := groups[k]
-		if g == nil {
-			g = &group{cell: Cell{Workload: r.Workload, Policy: r.Policy, Tweak: r.Tweak}}
-			groups[k] = g
-			order = append(order, k)
+	recs = append([]Record(nil), recs...) // canonical sort, caller's slice untouched
+	sort.SliceStable(recs, func(i, j int) bool {
+		if a, b := cellKey(recs[i]), cellKey(recs[j]); a != b {
+			return a < b
 		}
-		g.ipc = append(g.ipc, r.Summary.IPC)
-		g.wasted = append(g.wasted, r.Summary.WastedEnergy)
-		g.flushes = append(g.flushes, float64(r.Summary.Flushes))
+		return recs[i].Seed < recs[j].Seed
+	})
+	// Equal-key records are now contiguous, so one linear scan folds
+	// each run of records into its cell.
+	var cells []Cell
+	var ipc, wasted, flushes []float64
+	flush := func(r Record) {
+		cells = append(cells, Cell{
+			Workload: r.Workload, Policy: r.Policy, Tweak: r.Tweak,
+			Seeds: len(ipc),
+			IPC:   newDist(ipc), Wasted: newDist(wasted), Flushes: newDist(flushes),
+		})
+		ipc, wasted, flushes = ipc[:0], wasted[:0], flushes[:0]
 	}
-	cells := make([]Cell, 0, len(order))
-	for _, k := range order {
-		g := groups[k]
-		c := g.cell
-		c.Seeds = len(g.ipc)
-		c.IPC = newDist(g.ipc)
-		c.Wasted = newDist(g.wasted)
-		c.Flushes = newDist(g.flushes)
-		cells = append(cells, c)
+	for i, r := range recs {
+		if i > 0 && cellKey(recs[i-1]) != cellKey(r) {
+			flush(recs[i-1])
+		}
+		ipc = append(ipc, r.Summary.IPC)
+		wasted = append(wasted, r.Summary.WastedEnergy)
+		flushes = append(flushes, float64(r.Summary.Flushes))
+	}
+	if len(recs) > 0 {
+		flush(recs[len(recs)-1])
 	}
 	return cells
 }

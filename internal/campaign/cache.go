@@ -22,6 +22,11 @@ import (
 // hits are indistinguishable from recomputation, forever.
 type Cache struct {
 	runner func(sim.Options) (*sim.Result, error)
+	// jobRun, when non-nil (NewJobCache), replaces runner with a
+	// job-level executor that sees the whole Job and the leader's
+	// context — the hook the cluster router uses to send misses to
+	// remote workers instead of the local simulator.
+	jobRun func(context.Context, Job) (Record, error)
 	store  *Store
 
 	mu sync.Mutex
@@ -58,14 +63,36 @@ func NewCache(store *Store, runner func(sim.Options) (*sim.Result, error)) *Cach
 	}
 }
 
+// NewJobCache returns a cache like NewCache's, but executing misses
+// with a job-level runner that receives the full Job and the leader
+// caller's context. This is the constructor the daemon's cluster mode
+// uses: the runner can route the job to a remote worker (and honour
+// cancellation while the job is still queued) instead of simulating in
+// process. Single-flight, store persistence and hit accounting are
+// identical to NewCache. The runner must return a Record a local run
+// would have produced byte-for-byte (NewRecord over a deterministic
+// simulation does); the cache stamps the job's key on it before
+// persisting.
+func NewJobCache(store *Store, run func(context.Context, Job) (Record, error)) *Cache {
+	return &Cache{
+		jobRun:   run,
+		store:    store,
+		done:     make(map[string]Record),
+		inflight: make(map[string]*flight),
+	}
+}
+
 // Do returns the record for job j, computing it at most once per key
 // across all concurrent callers and, when a store backs the cache, across
 // process restarts. hit reports whether the result was served without a
 // fresh simulation (from memory, the store, or another caller's in-flight
 // run). Errors are never cached: a failed job can be retried. A caller
 // waiting on another caller's in-flight run returns ctx.Err() if ctx is
-// cancelled first; the leader itself always finishes its simulation (runs
-// are not interruptible) so the store never loses a completed result.
+// cancelled first; a leader running a local simulation always finishes it
+// (runs are not interruptible) so the store never loses a completed
+// result. A job-level runner (NewJobCache) may instead honour the
+// leader's ctx while the job is still queued remotely; waiters that were
+// not themselves cancelled transparently retry such abandoned flights.
 func (c *Cache) Do(ctx context.Context, j Job) (rec Record, hit bool, err error) {
 	key := j.Key()
 	c.mu.Lock()
@@ -83,6 +110,15 @@ func (c *Cache) Do(ctx context.Context, j Job) (rec Record, hit bool, err error)
 		select {
 		case <-f.done:
 			if f.err != nil {
+				// The leader aborted on its *own* cancellation (possible
+				// only with a job-level runner; local simulations always
+				// finish). That is not this caller's cancellation and not
+				// a simulation failure — nothing was computed and nothing
+				// cached — so retry: this caller becomes the new leader
+				// or joins a fresher flight.
+				if isCtxErr(f.err) && ctx.Err() == nil {
+					return c.Do(ctx, j)
+				}
 				return Record{}, false, f.err
 			}
 			c.mu.Lock()
@@ -98,7 +134,7 @@ func (c *Cache) Do(ctx context.Context, j Job) (rec Record, hit bool, err error)
 	c.misses++
 	c.mu.Unlock()
 
-	f.rec, f.err = c.compute(j, key)
+	f.rec, f.err = c.compute(ctx, j, key)
 	c.mu.Lock()
 	if f.err == nil && c.store == nil {
 		c.done[key] = f.rec // the store, when present, already holds it
@@ -146,15 +182,25 @@ func (c *Cache) lookup(key string) (Record, bool) {
 	return rec, ok
 }
 
-// compute runs the simulation and persists the record.
-func (c *Cache) compute(j Job, key string) (Record, error) {
-	res, err := c.runner(j.Options())
-	if err != nil {
-		return Record{}, err
-	}
-	rec := Record{
-		Key: key, Workload: res.Workload, Policy: res.Policy,
-		Tweak: j.Tweak.Label(), Seed: j.Seed, Summary: res.Summary(),
+// compute executes the miss — through the job-level runner when one is
+// set (cluster routing), the plain simulator runner otherwise — and
+// persists the record. ctx reaches only the job-level runner: local
+// simulations are not interruptible, so the plain path always finishes.
+func (c *Cache) compute(ctx context.Context, j Job, key string) (Record, error) {
+	var rec Record
+	if c.jobRun != nil {
+		r, err := c.jobRun(ctx, j)
+		if err != nil {
+			return Record{}, err
+		}
+		rec = r
+		rec.Key = key // the store must index by this job's key, whatever the runner set
+	} else {
+		res, err := c.runner(j.Options())
+		if err != nil {
+			return Record{}, err
+		}
+		rec = NewRecord(j, res)
 	}
 	if c.store != nil {
 		if err := c.store.Append(rec); err != nil {
@@ -162,6 +208,17 @@ func (c *Cache) compute(j Job, key string) (Record, error) {
 		}
 	}
 	return rec, nil
+}
+
+// NewRecord builds the store record for a completed job. Every path
+// that turns a simulation into a record — the local scheduler, the
+// cache, remote cluster workers — goes through this one constructor, so
+// a record is byte-for-byte identical no matter where the job ran.
+func NewRecord(j Job, res *sim.Result) Record {
+	return Record{
+		Key: j.Key(), Workload: res.Workload, Policy: res.Policy,
+		Tweak: j.Tweak.Label(), Seed: j.Seed, Summary: res.Summary(),
+	}
 }
 
 // relabel refreshes the display-only tweak label: job keys hash tweak

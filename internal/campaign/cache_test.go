@@ -132,6 +132,76 @@ func TestCachePersistsAcrossReopen(t *testing.T) {
 	}
 }
 
+// TestCacheStatsAcrossRestart pins the hit/miss accounting through a
+// store-backed restart: a fresh process starts from zeroed counters
+// (hits/misses are per-process observability, not store state), serves
+// warm jobs as hits without simulating, and attributes each accessor —
+// Do, Lookup, Contains — correctly: Contains never counts, Lookup and
+// Do count every serve.
+func TestCacheStatsAcrossRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	store, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1 := simtest.New()
+	c1 := NewCache(store, r1.Run)
+	jobs := testJobs(t, 1, 2) // 4 jobs
+	for _, j := range jobs {
+		if _, _, err := c1.Do(context.Background(), j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cold process: every Do was a miss; a repeat Do and a Lookup are
+	// hits; Contains counts nothing.
+	if !c1.Contains(jobs[0]) {
+		t.Fatal("Contains lost a computed job")
+	}
+	if _, _, err := c1.Do(context.Background(), jobs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c1.Lookup(jobs[1]); !ok {
+		t.Fatal("Lookup lost a computed job")
+	}
+	if hits, misses := c1.Stats(); hits != 2 || misses != uint64(len(jobs)) {
+		t.Fatalf("cold process stats = %d hits / %d misses, want 2/%d", hits, misses, len(jobs))
+	}
+	store.Close()
+
+	// Restart: counters are per-process and must start at zero even
+	// though the store arrives fully warm.
+	store2, err := OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	r2 := simtest.New()
+	c2 := NewCache(store2, r2.Run)
+	if hits, misses := c2.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("restarted cache starts at %d hits / %d misses, want 0/0", hits, misses)
+	}
+	if !c2.Contains(jobs[0]) {
+		t.Fatal("restart lost a stored job")
+	}
+	if hits, misses := c2.Stats(); hits != 0 || misses != 0 {
+		t.Fatalf("Contains counted: %d hits / %d misses", hits, misses)
+	}
+	for _, j := range jobs {
+		if _, hit, err := c2.Do(context.Background(), j); err != nil || !hit {
+			t.Fatalf("warm Do: hit=%v err=%v", hit, err)
+		}
+	}
+	if _, ok := c2.Lookup(jobs[0]); !ok {
+		t.Fatal("warm Lookup missed")
+	}
+	if hits, misses := c2.Stats(); hits != uint64(len(jobs))+1 || misses != 0 {
+		t.Fatalf("warm process stats = %d hits / %d misses, want %d/0", hits, misses, len(jobs)+1)
+	}
+	if r2.Total() != 0 {
+		t.Fatalf("warm process simulated %d jobs", r2.Total())
+	}
+}
+
 func TestCacheDoesNotCacheErrors(t *testing.T) {
 	r := simtest.New()
 	r.Fail = true

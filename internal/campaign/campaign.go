@@ -216,6 +216,20 @@ func (s Spec) Jobs() ([]Job, error) {
 		}
 		seen[seed] = true
 	}
+	// Bound the expansion before allocating for it: a hostile or typo'd
+	// spec (tens of thousands of distinct FLUSH-S<n> policies × as many
+	// seeds) could otherwise request a multi-gigabyte job slice and
+	// crash the process instead of failing the request. 2^20 jobs is far
+	// beyond any legitimate sweep.
+	const maxJobs = 1 << 20
+	n := uint64(1)
+	for _, axis := range []int{len(workloads), len(policies), len(tweaks), len(seeds)} {
+		// Checking after every factor keeps the product overflow-free:
+		// n stays <= maxJobs before each multiply.
+		if n *= uint64(axis); n > maxJobs {
+			return nil, fmt.Errorf("campaign: spec expands to over %d jobs; split the sweep", maxJobs)
+		}
+	}
 	jobs := make([]Job, 0, len(workloads)*len(policies)*len(tweaks)*len(seeds))
 	for _, w := range workloads {
 		for _, p := range policies {

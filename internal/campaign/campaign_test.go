@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 
@@ -48,6 +49,30 @@ func TestSpecJobsExpansion(t *testing.T) {
 			t.Fatalf("duplicate key for %v", jobs[i])
 		}
 		seen[k] = true
+	}
+}
+
+// TestSpecJobsExpansionBounded: a spec whose cartesian product is
+// absurdly large must be rejected before any allocation is sized by it
+// — a hostile daemon submission (or fuzzer input) listing thousands of
+// distinct FLUSH-S<n> policies and seeds would otherwise request a
+// multi-gigabyte job slice and crash the process instead of getting a
+// 400.
+func TestSpecJobsExpansionBounded(t *testing.T) {
+	policies := make([]string, 2000)
+	for i := range policies {
+		policies[i] = "FLUSH-S" + strconv.Itoa(i+1)
+	}
+	seeds := make([]uint64, 2000)
+	for i := range seeds {
+		seeds[i] = uint64(i + 1)
+	}
+	_, err := Spec{
+		Workloads: []string{"2W1"}, Policies: policies, Seeds: seeds,
+		Cycles: 1000,
+	}.Jobs()
+	if err == nil || !strings.Contains(err.Error(), "split the sweep") {
+		t.Fatalf("4M-job spec error = %v, want expansion-bound rejection", err)
 	}
 }
 

@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadSpec feeds arbitrary bytes through the exact path a daemon
+// submission takes: ReadSpec (strict JSON decode) then Spec.Jobs
+// (validation + cartesian expansion). Properties: no input panics or
+// OOMs the process (hostile specs must be *rejected*, not expanded —
+// the expansion bound in Jobs exists because a fuzzer-sized spec of
+// distinct FLUSH-S<n> policies × seeds otherwise requests a
+// multi-gigabyte slice), every accepted job has a well-formed unique
+// key, and the cluster wire encoding round-trips each job to the same
+// key — the invariant remote workers rely on.
+// The seed corpus is the spec bodies exercised across the test suites
+// (server submissions, CLI spec files, the client demo, rejected specs).
+func FuzzReadSpec(f *testing.F) {
+	for _, s := range []string{
+		`{"workloads":["2W1"],"policies":["ICOUNT","MFLUSH"],"seeds":[1,2],"cycles":1000}`,
+		`{"workloads":["2W1","2W3"],"policies":["ICOUNT","MFLUSH"],"seeds":[1,2],"cycles":20000,"warmup":5000}`,
+		`{"workloads":["4W1"],"policies":["FLUSH-S30"],"seeds":[7],"cycles":1000,"warmup":500,` +
+			`"tweaks":[{"name":"slow-mem","main_memory_latency":500}]}`,
+		`{"workloads":["8W3"],"policies":["ICOUNT","FLUSH-S30","FLUSH-NS","STALL-S100","MFLUSH","MFLUSH-H4"],` +
+			`"seeds":[1,2,3,4,5],"cycles":200000,"warmup":300000,` +
+			`"tweaks":[{"mshr_entries":4},{"l2_size_bytes":393216},{"bus_delay":8},{"reg_reserve_per_thread":12}]}`,
+		``,
+		`{not json`,
+		`{"workloads":["2W1"]}`,
+		`{"workloads":["2W1"],"policies":["ICOUNT"],"cycles":1000,"bogus":1}`,
+		`{"workloads":["NOPE"],"policies":["ICOUNT"],"cycles":1000}`,
+		`{"workloads":["2W1"],"policies":["ICOUNT"],"seeds":[1,1],"cycles":1000}`,
+		`{"workloads":["2W1"],"policies":["ICOUNT"],"cycles":1000,"tweaks":[{"mshr_entries":-1}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ReadSpec(bytes.NewReader(data))
+		if err != nil {
+			return // malformed JSON only needs to not panic
+		}
+		jobs, err := spec.Jobs()
+		if err != nil {
+			return // invalid specs only need to be rejected cleanly
+		}
+		// Checking every job of a huge-but-legal expansion would make
+		// the fuzzer crawl; the properties are per-job, so a prefix
+		// suffices.
+		if len(jobs) > 512 {
+			jobs = jobs[:512]
+		}
+		seen := make(map[string]bool, len(jobs))
+		for _, j := range jobs {
+			key := j.Key()
+			if len(key) != 32 {
+				t.Fatalf("job %s: malformed key %q", j, key)
+			}
+			if seen[key] {
+				t.Fatalf("spec %q expanded two jobs with key %s", data, key)
+			}
+			seen[key] = true
+			w := j.Wire()
+			if w.Key != key {
+				t.Fatalf("wire key %q != job key %q", w.Key, key)
+			}
+			back, err := w.Job()
+			if err != nil {
+				t.Fatalf("job %s: wire form does not resolve back: %v", j, err)
+			}
+			if back.Key() != key {
+				t.Fatalf("job %s: wire round trip changed key %q -> %q", j, key, back.Key())
+			}
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/simtest"
+)
+
+// The metamorphic determinism property: a campaign is a *set* of
+// content-hash-keyed jobs, so the order a spec happens to list its
+// workloads, policies, seeds and tweaks in must be invisible in the
+// output — the expanded key multiset is identical, and the aggregate
+// exports are byte-identical (canonical cell order, canonical in-cell
+// seed folding — even the floating-point reductions see the same
+// operand order).
+
+// metamorphicSpec builds the base spec with each axis in the given order.
+func metamorphicSpec(workloads, policies []string, seeds []uint64, tweaks []Tweak) Spec {
+	return Spec{
+		Workloads: workloads, Policies: policies, Seeds: seeds, Tweaks: tweaks,
+		Cycles: 1000, Warmup: 100,
+	}
+}
+
+// aggregateBytes runs the spec's jobs through a scheduler with the
+// deterministic fake simulator and renders every export format.
+func aggregateBytes(t *testing.T, spec Spec, workers int) map[string]string {
+	t.Helper()
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := (&Scheduler{Workers: workers, Runner: simtest.New().Run}).Run(context.Background(), jobs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := Aggregate(recs)
+	out := make(map[string]string)
+	var csv, js bytes.Buffer
+	if err := WriteCSV(&csv, cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSON(&js, cells); err != nil {
+		t.Fatal(err)
+	}
+	out["csv"] = csv.String()
+	out["json"] = js.String()
+	out["table"] = Table(cells).String()
+	return out
+}
+
+// keySet expands the spec and returns its sorted job keys.
+func keySet(t *testing.T, spec Spec) []string {
+	t.Helper()
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]string, len(jobs))
+	for i, j := range jobs {
+		keys[i] = j.Key()
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// TestAggregateInsensitiveToSpecAxisOrder shuffles every spec axis —
+// workloads, policies, seeds, tweaks — through a handful of seeded
+// permutations and requires the expanded key set and all three
+// aggregate exports to be byte-identical to the in-order spec's.
+func TestAggregateInsensitiveToSpecAxisOrder(t *testing.T) {
+	workloads := []string{"2W1", "2W3", "4W1"}
+	policies := []string{"ICOUNT", "MFLUSH", "FLUSH-S30"}
+	seeds := []uint64{1, 2, 3, 4}
+	tweaks := []Tweak{{}, {Name: "small-mshr", MSHREntries: 4}, {Name: "slow-mem", MainMemoryLatency: 500}}
+
+	base := metamorphicSpec(workloads, policies, seeds, tweaks)
+	wantKeys := keySet(t, base)
+	want := aggregateBytes(t, base, 1)
+
+	rng := rand.New(rand.NewSource(42)) // deterministic shuffles
+	for trial := 0; trial < 5; trial++ {
+		w := append([]string(nil), workloads...)
+		p := append([]string(nil), policies...)
+		s := append([]uint64(nil), seeds...)
+		tw := append([]Tweak(nil), tweaks...)
+		rng.Shuffle(len(w), func(i, j int) { w[i], w[j] = w[j], w[i] })
+		rng.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+		rng.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+		rng.Shuffle(len(tw), func(i, j int) { tw[i], tw[j] = tw[j], tw[i] })
+		shuffled := metamorphicSpec(w, p, s, tw)
+
+		if got := keySet(t, shuffled); !reflect.DeepEqual(got, wantKeys) {
+			t.Fatalf("trial %d: shuffled spec expands to a different key set", trial)
+		}
+		// Different worker counts on top of the shuffle: completion order
+		// is maximally perturbed, output must not move.
+		got := aggregateBytes(t, shuffled, 1+trial%4)
+		for format, ref := range want {
+			if got[format] != ref {
+				t.Fatalf("trial %d: %s aggregate differs for shuffled spec:\n%s\nvs\n%s",
+					trial, format, got[format], ref)
+			}
+		}
+	}
+}
+
+// TestAggregateInsensitiveToRecordOrder pins the canonicalisation at
+// the Aggregate level directly: feeding the same records reversed and
+// shuffled yields identical cells.
+func TestAggregateInsensitiveToRecordOrder(t *testing.T) {
+	recs := []Record{
+		testRecord("a1", "2W3", "MFLUSH", 2, 1.5),
+		testRecord("a2", "2W1", "ICOUNT", 1, 1.0),
+		testRecord("a3", "2W3", "MFLUSH", 1, 1.25),
+		testRecord("a4", "2W1", "ICOUNT", 2, 2.0),
+		testRecord("a5", "2W1", "MFLUSH", 1, 3.0),
+	}
+	want := Aggregate(recs)
+	if want[0].Workload != "2W1" || want[0].Policy != "ICOUNT" {
+		t.Fatalf("canonical cell order: first cell = %+v", want[0])
+	}
+
+	reversed := make([]Record, len(recs))
+	for i, r := range recs {
+		reversed[len(recs)-1-i] = r
+	}
+	if got := Aggregate(reversed); !reflect.DeepEqual(got, want) {
+		t.Fatalf("reversed records aggregate differently:\n%+v\nvs\n%+v", got, want)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 3; trial++ {
+		shuffled := append([]Record(nil), recs...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := Aggregate(shuffled); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: shuffled records aggregate differently", trial)
+		}
+	}
+}

@@ -107,10 +107,7 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job, store *Store) ([]Record
 			report(Progress{Job: j, Err: err})
 			return err
 		}
-		rec := Record{
-			Key: j.Key(), Workload: res.Workload, Policy: res.Policy,
-			Tweak: j.Tweak.Label(), Seed: j.Seed, Summary: res.Summary(),
-		}
+		rec := NewRecord(j, res)
 		if store != nil {
 			if err := store.Append(rec); err != nil {
 				report(Progress{Job: j, Err: err})
@@ -252,6 +249,13 @@ func RunAll(ctx context.Context, opts []sim.Options) ([]*sim.Result, error) {
 // for its duration, bounding total parallelism across concurrent pools.
 func runPool(ctx context.Context, workers int, slots chan struct{}, n int, indices []int, fn func(int) error) []error {
 	errs := make([]error, n)
+	// More goroutines than work items would just park on the closed
+	// channel; the clamp matters in daemon cluster mode, where the pool
+	// bound is sized for the whole admission queue rather than the
+	// local core count.
+	if workers > len(indices) {
+		workers = len(indices)
+	}
 	idxCh := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

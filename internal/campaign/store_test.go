@@ -98,6 +98,84 @@ func TestStoreTruncatesTornTail(t *testing.T) {
 	}
 }
 
+// TestStoreRepairsTailTornInsideEscape: the nastiest torn-write shapes
+// end *inside* a JSON escape sequence of the final record — after the
+// backslash, mid \u hex digits, or between the surrogate halves of an
+// escaped code point. A naive repair that tried to parse or "complete"
+// the fragment would misread every one of them; the store's repair must
+// not care, because the only invariant it relies on is the missing
+// trailing newline. Also covered: a fragment that happens to be
+// complete, parseable JSON but lacks the newline — still a torn write
+// (the Write was cut before its last byte), still dropped.
+func TestStoreRepairsTailTornInsideEscape(t *testing.T) {
+	for name, fragment := range map[string]string{
+		"after-backslash":       `{"key":"k9","workload":"2W1","policy":"ICOUNT","tweak":"odd \`,
+		"mid-unicode-escape":    `{"key":"k9","workload":"2W1","policy":"ICOUNT","tweak":"odd \u00`,
+		"between-surrogates":    `{"key":"k9","workload":"2W1","policy":"ICOUNT","tweak":"odd \ud83d\ud`,
+		"escaped-quote":         `{"key":"k9","workload":"2W1","policy":"ICOUNT","tweak":"odd \"`,
+		"parseable-no-newline":  `{"key":"k9","workload":"2W1","policy":"ICOUNT","tweak":"t","seed":1,"summary":{}}`,
+		"escape-then-more-text": `{"key":"k9","workload":"2W1","tweak":"a\\bA still torn`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "results.jsonl")
+			s, err := OpenStore(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Append(testRecord("k1", "2W1", "ICOUNT", 1, 1.5)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Append(testRecord("k2", "2W1", "MFLUSH", 1, 1.8)); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			clean, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.WriteString(fragment)
+			f.Close()
+
+			s, err = OpenStore(path)
+			if err != nil {
+				t.Fatalf("repairing %s tail: %v", name, err)
+			}
+			if s.Len() != 2 {
+				t.Fatalf("survivors = %d, want 2", s.Len())
+			}
+			if _, ok := s.Get("k9"); ok {
+				t.Fatal("torn record resurrected")
+			}
+			// The repair truncated to exactly the valid prefix, and the
+			// next append lands on a clean boundary.
+			if err := s.Append(testRecord("k3", "2W3", "MFLUSH", 2, 2.0)); err != nil {
+				t.Fatal(err)
+			}
+			s.Close()
+			after, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.HasPrefix(after, clean) {
+				t.Fatalf("repair rewrote the valid prefix:\n%q\nvs\n%q", after, clean)
+			}
+			s, err = OpenStore(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if s.Len() != 3 {
+				t.Fatalf("post-repair Len = %d, want 3", s.Len())
+			}
+		})
+	}
+}
+
 // TestStoreRejectsMidFileCorruption: a complete (newline-terminated)
 // line that fails to parse is not a torn tail — truncating there would
 // delete every valid record after it, so opening must fail instead.

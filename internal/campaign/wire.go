@@ -1,0 +1,74 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// WireJob is the portable JSON form of a Job — the unit the cluster
+// protocol (internal/cluster) moves between the coordinator and worker
+// processes. It names the workload and policy instead of embedding
+// their resolved structs, so it stays small and survives version skew
+// detectably: a worker reconstructs the Job with WireJob.Job and
+// verifies the reconstructed key against Key before simulating.
+type WireJob struct {
+	// Key is the coordinator-computed content hash (Job.Key). Workers
+	// echo it in results and failures, and reject jobs whose
+	// reconstructed key differs (a workload/policy definition mismatch
+	// between coordinator and worker builds).
+	Key string `json:"key"`
+	// Workload is the paper workload name (resolved via workload.ByName).
+	Workload string `json:"workload"`
+	// Policy is the policy name as PolicySpec.String renders it
+	// (re-parsed with sim.ParseSpec, which round-trips every spec).
+	Policy string `json:"policy"`
+	// Tweak is the machine point, zero for the baseline.
+	Tweak Tweak `json:"tweak,omitzero"`
+	// Seed drives workload synthesis.
+	Seed uint64 `json:"seed"`
+	// Cycles is the measured window.
+	Cycles uint64 `json:"cycles"`
+	// Warmup runs before the measured window, unmeasured.
+	Warmup uint64 `json:"warmup,omitempty"`
+}
+
+// Wire renders the job in its portable form, key included.
+func (j Job) Wire() WireJob {
+	return WireJob{
+		Key:      j.Key(),
+		Workload: j.Workload.Name,
+		Policy:   j.Policy.String(),
+		Tweak:    j.Tweak,
+		Seed:     j.Seed,
+		Cycles:   j.Cycles,
+		Warmup:   j.Warmup,
+	}
+}
+
+// Job resolves the wire form back into an executable Job. The workload
+// and policy names resolve through the same tables and parser the spec
+// path uses, so a wire job is accepted exactly when the equivalent spec
+// would be. It does not compare keys — callers that received w over the
+// network should check `w.Job().Key() == w.Key` before trusting it.
+func (w WireJob) Job() (Job, error) {
+	wl, ok := workload.ByName(w.Workload)
+	if !ok {
+		return Job{}, fmt.Errorf("campaign: unknown workload %q", w.Workload)
+	}
+	p, err := sim.ParseSpec(w.Policy)
+	if err != nil {
+		return Job{}, fmt.Errorf("campaign: %w", err)
+	}
+	if err := w.Tweak.validate(); err != nil {
+		return Job{}, err
+	}
+	if w.Cycles == 0 {
+		return Job{}, fmt.Errorf("campaign: wire job needs a positive cycle budget")
+	}
+	return Job{
+		Workload: wl, Policy: p, Tweak: w.Tweak, Seed: w.Seed,
+		Cycles: w.Cycles, Warmup: w.Warmup,
+	}, nil
+}

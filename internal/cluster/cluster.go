@@ -1,0 +1,529 @@
+// Package cluster distributes campaign jobs across a fleet of worker
+// processes. The daemon side is a Coordinator — a lease-based in-memory
+// job queue: workers register, lease batches of content-hash-keyed
+// jobs, simulate them, and post the results back; a worker that stops
+// heartbeating for a lease TTL is presumed dead and its leased jobs are
+// re-issued, so a killed worker never loses work. The worker side is
+// Worker, a pull loop over the daemon's /v1/workers HTTP endpoints
+// (cmd/mflushworker is its binary).
+//
+// The layer sits *under* campaign.Cache, not beside it: the daemon
+// routes each cache miss through a Router, which sends it to the fleet
+// (or runs it locally when no workers are live), and the cache remains
+// the single writer to the JSONL store. Determinism makes the whole
+// arrangement exactly-once in effect: the cache single-flights each key,
+// the coordinator re-issues only leases whose worker is gone, and a
+// duplicate result for an already-completed key is discarded — it would
+// be byte-identical anyway. internal/server's cluster integration tests
+// enforce this: a campaign sharded across three workers aggregates
+// byte-identically to a single-process run, even when a worker is
+// killed mid-campaign.
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Coordinator failure modes callers dispatch on.
+var (
+	// ErrClosed reports a coordinator shut down by Close; nothing can be
+	// dispatched, leased or completed any more.
+	ErrClosed = errors.New("cluster: coordinator closed")
+	// ErrNoWorkers reports that no live worker can run the job — either
+	// none was registered at dispatch, or every worker died while it was
+	// queued. The Router maps it to a local-simulation fallback.
+	ErrNoWorkers = errors.New("cluster: no live workers")
+	// ErrUnknownWorker reports a worker ID the coordinator does not
+	// know — never issued, deregistered, or dropped after missing
+	// heartbeats for a lease TTL. The worker should re-register.
+	ErrUnknownWorker = errors.New("cluster: unknown worker")
+)
+
+// DefaultLeaseTTL is how long a worker may go unheard-from before it is
+// presumed dead and its leased jobs are re-issued, when Config does not
+// say otherwise.
+const DefaultLeaseTTL = 15 * time.Second
+
+// Config parameterises a Coordinator.
+type Config struct {
+	// LeaseTTL is the worker-liveness horizon: a worker silent for this
+	// long is dropped and its leased jobs re-queued (<= 0:
+	// DefaultLeaseTTL). Workers heartbeat at a fraction of it.
+	LeaseTTL time.Duration
+}
+
+// Coordinator is the fleet's job queue: Dispatch parks campaign jobs
+// here, workers drain them via Register/Lease/Complete, and a reaper
+// re-issues the leases of dead workers. All methods are safe for
+// concurrent use. Create with NewCoordinator; Close releases the reaper
+// and fails everything still queued.
+type Coordinator struct {
+	ttl time.Duration
+
+	// epoch is a random per-coordinator tag baked into worker IDs, so
+	// an ID issued by an earlier daemon incarnation can never collide
+	// with a fresh one: a stale worker's calls must 404 (forcing it to
+	// re-register) rather than silently impersonate — and keep alive —
+	// some new worker that happened to draw the same sequence number.
+	epoch string
+
+	mu      sync.Mutex
+	closed  bool
+	seq     int // worker ID counter
+	workers map[string]*workerState
+	tasks   map[string]*task // every queued-or-leased job by key
+	pending []*task          // FIFO of unleased tasks
+	// requeued counts leases taken back from dead or departing workers
+	// and re-issued — the fleet's churn metric, served by /v1/workers.
+	requeued uint64
+	wake     chan struct{} // closed+replaced when pending grows
+	done     chan struct{} // closed by Close; stops the reaper
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id        string
+	name      string
+	capacity  int
+	lastSeen  time.Time
+	leased    map[string]*task
+	completed uint64
+}
+
+// task is one dispatched job travelling through the queue.
+type task struct {
+	job      campaign.Job
+	waiters  int    // Dispatch callers blocked on done
+	leasedBy string // worker ID, "" while pending
+
+	done chan struct{} // closed on completion or failure
+	rec  campaign.Record
+	err  error
+}
+
+// NewCoordinator returns a running coordinator and starts its reaper.
+func NewCoordinator(cfg Config) *Coordinator {
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	epoch := make([]byte, 4)
+	rand.Read(epoch)
+	c := &Coordinator{
+		ttl:     ttl,
+		epoch:   hex.EncodeToString(epoch),
+		workers: make(map[string]*workerState),
+		tasks:   make(map[string]*task),
+		wake:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.reaper()
+	return c
+}
+
+// LeaseTTL returns the worker-liveness horizon the coordinator enforces
+// — the TTL the register response advertises to workers.
+func (c *Coordinator) LeaseTTL() time.Duration { return c.ttl }
+
+// Close shuts the queue down: every queued or leased task fails with
+// ErrClosed (releasing its Dispatch callers), the reaper stops, and all
+// later calls fail. The daemon closes the coordinator after draining,
+// so no campaign is waiting by then in the normal path.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for key, t := range c.tasks {
+		t.err = ErrClosed
+		close(t.done)
+		delete(c.tasks, key)
+	}
+	c.pending = nil
+	for _, w := range c.workers {
+		clear(w.leased)
+	}
+	close(c.done)
+}
+
+// reaper periodically drops workers that missed their lease TTL and
+// re-issues their jobs. Mutating calls also reap inline, so the ticker
+// only matters when the coordinator is otherwise idle.
+func (c *Coordinator) reaper() {
+	interval := c.ttl / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			c.mu.Lock()
+			c.reapLocked()
+			c.mu.Unlock()
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// reapLocked drops every worker unseen for a lease TTL, re-queues its
+// leased tasks, and — when that leaves no live worker at all — fails
+// everything still queued with ErrNoWorkers so dispatchers can fall
+// back to local simulation instead of waiting for a fleet that is gone.
+// The caller holds c.mu.
+func (c *Coordinator) reapLocked() {
+	if c.closed {
+		return
+	}
+	now := time.Now()
+	for id, w := range c.workers {
+		if now.Sub(w.lastSeen) <= c.ttl {
+			continue
+		}
+		for key, t := range w.leased {
+			t.leasedBy = ""
+			c.requeued++
+			c.pending = append(c.pending, t)
+			delete(w.leased, key)
+		}
+		delete(c.workers, id)
+	}
+	if len(c.workers) == 0 && len(c.tasks) > 0 {
+		for key, t := range c.tasks {
+			t.err = ErrNoWorkers
+			close(t.done)
+			delete(c.tasks, key)
+		}
+		c.pending = c.pending[:0]
+		return
+	}
+	if len(c.pending) > 0 {
+		c.wakeLocked()
+	}
+}
+
+// wakeLocked releases every Lease long-poller. The caller holds c.mu.
+func (c *Coordinator) wakeLocked() {
+	close(c.wake)
+	c.wake = make(chan struct{})
+}
+
+// Dispatch queues job j for the fleet and blocks until a worker posts
+// its result (or failure). It returns ErrNoWorkers immediately when no
+// live worker is registered, and ErrClosed once the coordinator shuts
+// down. While the job is still *pending* — not yet leased — cancelling
+// ctx withdraws it and returns ctx.Err(); once leased, Dispatch waits
+// for the worker like an uninterruptible local run, so in-flight fleet
+// work always lands in the store.
+func (c *Coordinator) Dispatch(ctx context.Context, j campaign.Job) (campaign.Record, error) {
+	key := j.Key()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return campaign.Record{}, ErrClosed
+	}
+	c.reapLocked()
+	if len(c.workers) == 0 {
+		c.mu.Unlock()
+		return campaign.Record{}, ErrNoWorkers
+	}
+	t := c.tasks[key]
+	if t == nil {
+		t = &task{job: j, done: make(chan struct{})}
+		c.tasks[key] = t
+		c.pending = append(c.pending, t)
+		c.wakeLocked()
+	}
+	t.waiters++
+	c.mu.Unlock()
+
+	select {
+	case <-t.done:
+		return t.rec, t.err
+	case <-ctx.Done():
+	}
+	// Cancelled: withdraw the job if it is still pending and no one else
+	// is waiting on it; a leased job is ridden to completion.
+	c.mu.Lock()
+	select {
+	case <-t.done:
+		c.mu.Unlock()
+		return t.rec, t.err
+	default:
+	}
+	t.waiters--
+	if t.leasedBy == "" && t.waiters == 0 {
+		delete(c.tasks, key)
+		for i, p := range c.pending {
+			if p == t {
+				c.pending = append(c.pending[:i], c.pending[i+1:]...)
+				break
+			}
+		}
+		c.mu.Unlock()
+		return campaign.Record{}, ctx.Err()
+	}
+	if t.leasedBy == "" {
+		// Another campaign still wants the job; leave it queued.
+		c.mu.Unlock()
+		return campaign.Record{}, ctx.Err()
+	}
+	c.mu.Unlock()
+	<-t.done
+	return t.rec, t.err
+}
+
+// LiveWorkers returns how many registered workers are within their
+// lease TTL — the Router's remote-vs-local routing signal.
+func (c *Coordinator) LiveWorkers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	return len(c.workers)
+}
+
+// Pending returns how many dispatched jobs no worker has leased yet.
+func (c *Coordinator) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Requeues returns how many leases have ever been taken back from dead
+// or departing workers and re-issued — 0 on a healthy fleet, so the
+// counter is a direct measure of worker churn.
+func (c *Coordinator) Requeues() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.requeued
+}
+
+// Register admits a worker to the fleet and returns its assigned state
+// (ID, normalised capacity). Capacity <= 0 registers as 1.
+func (c *Coordinator) Register(name string, capacity int) (WorkerStatus, error) {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return WorkerStatus{}, ErrClosed
+	}
+	c.seq++
+	w := &workerState{
+		id:       fmt.Sprintf("w%06d-%s", c.seq, c.epoch),
+		name:     name,
+		capacity: capacity,
+		lastSeen: time.Now(),
+		leased:   make(map[string]*task),
+	}
+	c.workers[w.id] = w
+	return w.status(), nil
+}
+
+// Deregister removes a worker cleanly (the SIGTERM-drain path): its
+// remaining leases — a drained worker should have none — are re-queued
+// immediately instead of waiting out the TTL.
+func (c *Coordinator) Deregister(workerID string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	w := c.workers[workerID]
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	for key, t := range w.leased {
+		t.leasedBy = ""
+		c.requeued++
+		c.pending = append(c.pending, t)
+		delete(w.leased, key)
+	}
+	delete(c.workers, workerID)
+	c.reapLocked() // strand check: this may have been the last worker
+	if len(c.pending) > 0 {
+		c.wakeLocked()
+	}
+	return nil
+}
+
+// Lease hands the calling worker up to max pending jobs and records the
+// call as a heartbeat (max 0 is a pure heartbeat). When nothing is
+// pending it long-polls up to wait — capped at half the lease TTL so a
+// parked worker still heartbeats — and returns an empty batch on
+// timeout. Returns ErrUnknownWorker for IDs the coordinator dropped;
+// the worker should re-register and retry.
+func (c *Coordinator) Lease(workerID string, max int, wait time.Duration) ([]campaign.WireJob, error) {
+	if wait > c.ttl/2 {
+		wait = c.ttl / 2
+	}
+	deadline := time.Now().Add(wait)
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		c.reapLocked()
+		w := c.workers[workerID]
+		if w == nil {
+			c.mu.Unlock()
+			return nil, ErrUnknownWorker
+		}
+		w.lastSeen = time.Now()
+		if max <= 0 {
+			c.mu.Unlock()
+			return nil, nil
+		}
+		if len(c.pending) > 0 {
+			n := min(max, len(c.pending))
+			batch := make([]campaign.WireJob, 0, n)
+			for _, t := range c.pending[:n] {
+				t.leasedBy = workerID
+				w.leased[t.job.Key()] = t
+				batch = append(batch, t.job.Wire())
+			}
+			c.pending = append(c.pending[:0], c.pending[n:]...)
+			c.mu.Unlock()
+			return batch, nil
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			c.mu.Unlock()
+			return nil, nil
+		}
+		wake := c.wake
+		c.mu.Unlock()
+		timer := time.NewTimer(remaining)
+		select {
+		case <-wake:
+		case <-timer.C:
+		case <-c.done:
+			timer.Stop()
+			return nil, ErrClosed
+		}
+		timer.Stop()
+	}
+}
+
+// JobFailure is a worker-reported per-job failure: the job's key and
+// the simulator's error message. The coordinator fails the waiting
+// campaign with it — simulator errors are deterministic, so re-issuing
+// the job to another worker would only fail again.
+type JobFailure struct {
+	// Key is the failed job's content hash (echoed from the lease).
+	Key string `json:"key"`
+	// Error is the worker-side failure message.
+	Error string `json:"error"`
+}
+
+// Complete records a batch of finished jobs from a worker — successful
+// records and failures alike — and releases their Dispatch callers. It
+// also counts as a heartbeat. The first result for a key wins; results
+// for unknown or already-completed keys are counted in duplicates and
+// discarded (a re-issued job's late second result is byte-identical
+// anyway, so nothing is lost). Returns ErrUnknownWorker for dropped
+// workers — their results are discarded too, because their leases were
+// already re-issued.
+func (c *Coordinator) Complete(workerID string, recs []campaign.Record, fails []JobFailure) (accepted, duplicates int, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return 0, 0, ErrClosed
+	}
+	c.reapLocked()
+	w := c.workers[workerID]
+	if w == nil {
+		return 0, 0, ErrUnknownWorker
+	}
+	w.lastSeen = time.Now()
+	settle := func(key string, rec campaign.Record, failure error) {
+		t := c.tasks[key]
+		if t == nil {
+			duplicates++
+			return
+		}
+		t.rec, t.err = rec, failure
+		close(t.done)
+		delete(c.tasks, key)
+		if t.leasedBy != "" {
+			if owner := c.workers[t.leasedBy]; owner != nil {
+				delete(owner.leased, key)
+			}
+		} else {
+			// Completed while queued for re-issue: drop it from pending
+			// so no other worker leases a settled job.
+			for i, p := range c.pending {
+				if p == t {
+					c.pending = append(c.pending[:i], c.pending[i+1:]...)
+					break
+				}
+			}
+		}
+		accepted++
+		if failure == nil {
+			w.completed++
+		}
+	}
+	for _, rec := range recs {
+		settle(rec.Key, rec, nil)
+	}
+	for _, f := range fails {
+		settle(f.Key, campaign.Record{}, fmt.Errorf("cluster: worker %s: %s", workerID, f.Error))
+	}
+	return accepted, duplicates, nil
+}
+
+// WorkerStatus is the wire form of one fleet member, served by the
+// daemon's GET /v1/workers endpoint.
+type WorkerStatus struct {
+	// ID is the coordinator-assigned worker identity — a sequence
+	// number plus the coordinator's random epoch tag
+	// ("w000001-1a2b3c4d"), so IDs from a previous daemon incarnation
+	// never resolve.
+	ID string `json:"id"`
+	// Name is the worker's self-reported label (its -name flag).
+	Name string `json:"name"`
+	// Capacity is how many simulations the worker runs in parallel.
+	Capacity int `json:"capacity"`
+	// Leased is how many jobs the worker currently holds.
+	Leased int `json:"leased"`
+	// Completed counts jobs this worker finished successfully.
+	Completed uint64 `json:"completed"`
+	// LastSeen is the worker's most recent heartbeat.
+	LastSeen time.Time `json:"last_seen"`
+}
+
+func (w *workerState) status() WorkerStatus {
+	return WorkerStatus{
+		ID: w.id, Name: w.name, Capacity: w.capacity,
+		Leased: len(w.leased), Completed: w.completed, LastSeen: w.lastSeen,
+	}
+}
+
+// Workers snapshots the live fleet, sorted by worker ID.
+func (c *Coordinator) Workers() []WorkerStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reapLocked()
+	out := make([]WorkerStatus, 0, len(c.workers))
+	for _, w := range c.workers {
+		out = append(out, w.status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,68 @@
+package cluster
+
+import "repro/internal/campaign"
+
+// The /v1/workers wire schemas, shared by the daemon's handlers
+// (internal/server) and the Worker client so the two sides cannot
+// drift. API.md documents them field by field.
+
+// RegisterRequest is the POST /v1/workers body.
+type RegisterRequest struct {
+	// Name labels the worker in fleet listings (e.g. its hostname).
+	Name string `json:"name"`
+	// Capacity is how many simulations the worker runs in parallel.
+	Capacity int `json:"capacity"`
+}
+
+// RegisterResponse is the 201 body: the worker's assigned identity and
+// the heartbeat contract it must honour.
+type RegisterResponse struct {
+	// ID is the coordinator-assigned worker ID, used in all later calls.
+	ID string `json:"id"`
+	// LeaseTTLMS is the lease TTL in milliseconds: a worker silent for
+	// this long is dropped and its leased jobs re-issued.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+// LeaseRequest is the POST /v1/workers/{id}/lease body.
+type LeaseRequest struct {
+	// Max bounds the batch; 0 makes the call a pure heartbeat.
+	Max int `json:"max"`
+	// WaitMS long-polls for work up to this many milliseconds (capped
+	// by the coordinator at half the lease TTL).
+	WaitMS int64 `json:"wait_ms,omitempty"`
+}
+
+// LeaseResponse is the lease body: the leased batch, possibly empty.
+type LeaseResponse struct {
+	// Jobs are the leased jobs in queue order.
+	Jobs []campaign.WireJob `json:"jobs"`
+}
+
+// ResultsRequest is the POST /v1/workers/{id}/results body.
+type ResultsRequest struct {
+	// Records are completed jobs' full store records.
+	Records []campaign.Record `json:"records,omitempty"`
+	// Failures are jobs whose simulation errored on the worker.
+	Failures []JobFailure `json:"failures,omitempty"`
+}
+
+// ResultsResponse acknowledges a results post.
+type ResultsResponse struct {
+	// Accepted counts results that settled a queued job.
+	Accepted int `json:"accepted"`
+	// Duplicates counts results for unknown or already-settled keys,
+	// discarded (harmlessly — results are deterministic).
+	Duplicates int `json:"duplicates"`
+}
+
+// FleetResponse is the GET /v1/workers body.
+type FleetResponse struct {
+	// Workers lists the live fleet sorted by worker ID.
+	Workers []WorkerStatus `json:"workers"`
+	// Pending is how many dispatched jobs await a lease.
+	Pending int `json:"pending"`
+	// Requeues counts leases ever re-issued from dead or departing
+	// workers — the fleet's churn metric (0 on a healthy fleet).
+	Requeues uint64 `json:"requeues"`
+}

@@ -16,6 +16,7 @@ import (
 var documentedPackages = []string{
 	"internal/server",
 	"internal/campaign",
+	"internal/cluster",
 }
 
 // TestExportedIdentifiersDocumented parses each package (tests

@@ -10,6 +10,14 @@
 // the number of jobs in the system (excess submissions get 429 with a
 // Retry-After), and SIGTERM drains — in-flight simulations finish and
 // persist to the store, nothing new starts.
+//
+// With Config.Cluster set (mflushd -cluster) the daemon additionally
+// coordinates an mflushworker fleet over the /v1/workers endpoints:
+// cache misses route to live remote workers through a lease-based
+// queue (internal/cluster) and fall back to local simulation when the
+// fleet is empty or gone, without changing any client-visible
+// behaviour — aggregates stay byte-identical however the jobs were
+// placed.
 package server
 
 import (
@@ -20,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cluster"
 	"repro/internal/sim"
 )
 
@@ -44,6 +53,15 @@ type Config struct {
 	// 404, but every computed result stays in the cache. Running
 	// campaigns are never evicted.
 	MaxCampaigns int
+	// Cluster, when non-nil, turns the daemon into a fleet coordinator:
+	// the /v1/workers endpoints are served, and every cache miss is
+	// routed to a live remote worker when one exists — falling back to
+	// the local simulator (still bounded by Workers) when the fleet is
+	// empty or dies. Admission control, caching and the store work
+	// exactly as in single-process mode; only where jobs execute
+	// changes. The caller owns the coordinator's lifecycle (Close it
+	// after Drain).
+	Cluster *cluster.Coordinator
 }
 
 // Server is the mflushd HTTP handler plus the shared execution state
@@ -51,6 +69,7 @@ type Config struct {
 type Server struct {
 	cache        *campaign.Cache
 	sched        *campaign.Scheduler
+	cluster      *cluster.Coordinator // nil: single-process mode
 	mux          *http.ServeMux
 	maxQueued    int
 	maxCampaigns int
@@ -83,13 +102,25 @@ func New(cfg Config) *Server {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cache:        campaign.NewCache(cfg.Store, cfg.Runner),
-		sched:        campaign.NewShared(cfg.Workers),
+		cluster:      cfg.Cluster,
 		maxQueued:    maxQueued,
 		maxCampaigns: maxCampaigns,
 		baseCtx:      ctx,
 		stopAll:      cancel,
 		campaigns:    make(map[string]*run),
+	}
+	if cfg.Cluster != nil {
+		// Cluster mode: misses route through the fleet router, and the
+		// scheduler pool is sized for the admission queue rather than
+		// the core count — a dispatch parked on a remote worker is a
+		// cheap wait, and local simulations are bounded inside the
+		// router, not by pool goroutines.
+		router := cluster.NewRouter(cfg.Cluster, cfg.Workers, cfg.Runner)
+		s.cache = campaign.NewJobCache(cfg.Store, router.Run)
+		s.sched = campaign.NewShared(maxQueued)
+	} else {
+		s.cache = campaign.NewCache(cfg.Store, cfg.Runner)
+		s.sched = campaign.NewShared(cfg.Workers)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -100,6 +131,13 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
+	if cfg.Cluster != nil {
+		s.mux.HandleFunc("POST /v1/workers", s.handleWorkerRegister)
+		s.mux.HandleFunc("GET /v1/workers", s.handleWorkersList)
+		s.mux.HandleFunc("POST /v1/workers/{id}/lease", s.handleWorkerLease)
+		s.mux.HandleFunc("POST /v1/workers/{id}/results", s.handleWorkerResults)
+		s.mux.HandleFunc("DELETE /v1/workers/{id}", s.handleWorkerDeregister)
+	}
 	return s
 }
 

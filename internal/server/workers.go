@@ -1,0 +1,108 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+)
+
+// The /v1/workers endpoints — the coordinator side of the cluster
+// protocol (internal/cluster). They are mounted only when Config.Cluster
+// is set; a plain single-process daemon serves 404 for them. API.md
+// documents the wire schemas (which live in internal/cluster so the
+// Worker client and these handlers cannot drift).
+
+// decodeJSON decodes a bounded JSON request body, writing the 400 itself
+// on failure.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// writeClusterError maps coordinator sentinel errors onto the API's
+// uniform envelope: unknown worker IDs are 404 (the worker should
+// re-register), a closed coordinator is 503 (the daemon is exiting).
+func writeClusterError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, cluster.ErrUnknownWorker):
+		writeError(w, http.StatusNotFound, "%v; re-register", err)
+	case errors.Is(err, cluster.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+// handleWorkerRegister admits a worker to the fleet.
+func (s *Server) handleWorkerRegister(w http.ResponseWriter, r *http.Request) {
+	var req cluster.RegisterRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	st, err := s.cluster.Register(req.Name, req.Capacity)
+	if err != nil {
+		writeClusterError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, cluster.RegisterResponse{
+		ID: st.ID, LeaseTTLMS: s.cluster.LeaseTTL().Milliseconds(),
+	})
+}
+
+// handleWorkerLease leases up to max pending jobs to the worker
+// (long-polling when the queue is empty) and doubles as its heartbeat.
+func (s *Server) handleWorkerLease(w http.ResponseWriter, r *http.Request) {
+	var req cluster.LeaseRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	jobs, err := s.cluster.Lease(r.PathValue("id"), req.Max, time.Duration(req.WaitMS)*time.Millisecond)
+	if err != nil {
+		writeClusterError(w, err)
+		return
+	}
+	if jobs == nil {
+		jobs = []campaign.WireJob{} // an empty batch is [], never null
+	}
+	writeJSON(w, http.StatusOK, cluster.LeaseResponse{Jobs: jobs})
+}
+
+// handleWorkerResults records a worker's finished jobs (successes and
+// failures) and releases the campaigns waiting on them.
+func (s *Server) handleWorkerResults(w http.ResponseWriter, r *http.Request) {
+	var req cluster.ResultsRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	accepted, duplicates, err := s.cluster.Complete(r.PathValue("id"), req.Records, req.Failures)
+	if err != nil {
+		writeClusterError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cluster.ResultsResponse{Accepted: accepted, Duplicates: duplicates})
+}
+
+// handleWorkerDeregister removes a worker cleanly (its drain path);
+// any leases it still held are re-issued immediately.
+func (s *Server) handleWorkerDeregister(w http.ResponseWriter, r *http.Request) {
+	if err := s.cluster.Deregister(r.PathValue("id")); err != nil {
+		writeClusterError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+// handleWorkersList serves the fleet snapshot.
+func (s *Server) handleWorkersList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, cluster.FleetResponse{
+		Workers: s.cluster.Workers(), Pending: s.cluster.Pending(),
+		Requeues: s.cluster.Requeues(),
+	})
+}
