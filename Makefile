@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: build test shorttest racetest vet bench bench-throughput docscheck fuzzsmoke
+.PHONY: build test shorttest racetest vet bench bench-throughput benchbaseline benchcmp docscheck fuzzsmoke
+
+# The hot-path benchmarks benchcmp tracks, and where their runs live.
+BENCH_PATTERN := BenchmarkSimulatorThroughput|BenchmarkSingleCoreSim
+BENCH_BASELINE := bench/baseline.txt
+BENCH_CURRENT := bench/current.txt
 
 build:
 	$(GO) build ./...
@@ -41,4 +46,26 @@ bench:
 # Just the simulator speed benchmarks (the PERFORMANCE numbers in
 # README.md).
 bench-throughput:
-	$(GO) test -run '^$$' -bench 'BenchmarkSimulatorThroughput|BenchmarkSingleCoreSim' -benchmem -benchtime 5x .
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 5x .
+
+# Re-record the committed hot-path baseline that benchcmp diffs against.
+# Run it when a PR intentionally moves simulator performance.
+benchbaseline:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 3x -count 6 . | tee $(BENCH_BASELINE)
+
+# Compare the current hot path against the committed baseline. A CI job
+# runs this as a non-blocking report, so the cycle-loop cost of any
+# refactor (like the Session layer) is visible on every PR. benchstat
+# renders a statistical comparison when installed; without it the two
+# raw runs are printed side by side (absolute numbers are machine-
+# dependent — compare deltas, not values, unless the baseline was
+# recorded on the same machine).
+benchcmp:
+	$(GO) test -run '^$$' -bench '$(BENCH_PATTERN)' -benchmem -benchtime 3x -count 6 . | tee $(BENCH_CURRENT)
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_BASELINE) $(BENCH_CURRENT); \
+	else \
+		echo "== benchstat not installed (go install golang.org/x/perf/cmd/benchstat@latest)"; \
+		echo "== raw baseline ($(BENCH_BASELINE)):"; cat $(BENCH_BASELINE); \
+		echo "== raw current ($(BENCH_CURRENT)):"; cat $(BENCH_CURRENT); \
+	fi

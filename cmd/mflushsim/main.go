@@ -5,15 +5,24 @@
 // Usage:
 //
 //	mflushsim -workload 2W3 -policy MFLUSH [-cycles N] [-warmup N] [-seed N] [-cores N] [-name S] [-v]
+//	mflushsim -workload 8W3 -policy MFLUSH -interval 5000 [-out series.csv] [-json]
 //
 // Policies: ICOUNT, FLUSH-S<delay>, FLUSH-NS, STALL-S<delay>, MFLUSH,
 // MFLUSH-H<depth>.
+//
+// With -interval N the run additionally emits a time series: one sample
+// every N measured cycles (CSV by default, JSONL with -json), streamed
+// as the simulation advances. The series goes to -out when given (the
+// normal summary still prints to stdout) and replaces the summary on
+// stdout otherwise.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -23,6 +32,27 @@ import (
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// sampleCSVHeader names the columns writeSampleCSV emits. MCReg state is
+// folded to its min/max across cores and banks (blank for non-MFLUSH
+// policies); the full per-bank state is available with -json.
+const sampleCSVHeader = "cycle,measured_cycles,ipc,interval_ipc,committed_total,flushes," +
+	"flushed_instructions,wasted_energy_units,l2_hits,l2_misses,mcreg_min,mcreg_max"
+
+// writeSampleCSV renders one time-series row.
+func writeSampleCSV(w io.Writer, p sim.SamplePoint) {
+	var total uint64
+	for _, n := range p.Committed {
+		total += n
+	}
+	mcregMin, mcregMax := "", ""
+	if lo, hi, ok := p.MCRegBounds(); ok {
+		mcregMin, mcregMax = fmt.Sprint(lo), fmt.Sprint(hi)
+	}
+	fmt.Fprintf(w, "%d,%d,%.6f,%.6f,%d,%d,%d,%.3f,%d,%d,%s,%s\n",
+		p.Cycle, p.MeasuredCycles, p.IPC, p.IntervalIPC, total, p.Flushes,
+		p.FlushedInsts, p.WastedEnergy, p.L2Hits, p.L2Misses, mcregMin, mcregMax)
+}
 
 func main() {
 	wl := flag.String("workload", "2W3", "workload name (xWy from the paper, or 8W-bzip2-twolf)")
@@ -35,6 +65,8 @@ func main() {
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
 	traces := flag.String("traces", "", "comma-separated trace files (from tracegen) to replay instead of -workload")
 	name := flag.String("name", "", "workload name to report (replayed traces otherwise report replay-N)")
+	interval := flag.Uint64("interval", 0, "emit a time-series sample every N measured cycles (0: off)")
+	out := flag.String("out", "", "time-series destination file (default: stdout, replacing the summary)")
 	flag.Parse()
 
 	var w workload.Workload
@@ -71,14 +103,50 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := sim.Run(sim.Options{
+	opt := sim.Options{
 		Workload: w, Policy: spec, Name: *name,
 		Cycles: *cycles, Warmup: *warmup, Seed: *seed, Cores: *cores,
 		ThreadTraces: threadTraces,
-	})
+		Interval:     *interval,
+	}
+
+	// Stream the time series as the simulation takes each sample.
+	seriesToStdout := *interval > 0 && *out == ""
+	var seriesW *bufio.Writer
+	if *interval > 0 {
+		dst := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mflushsim: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			dst = f
+		}
+		seriesW = bufio.NewWriter(dst)
+		defer seriesW.Flush()
+		if !*asJSON {
+			fmt.Fprintln(seriesW, sampleCSVHeader)
+		}
+		enc := json.NewEncoder(seriesW)
+		opt.OnSample = func(p sim.SamplePoint) {
+			if *asJSON {
+				_ = enc.Encode(p) // one JSON object per line (JSONL)
+			} else {
+				writeSampleCSV(seriesW, p)
+			}
+			seriesW.Flush()
+		}
+	}
+
+	res, err := sim.Run(opt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mflushsim: %v\n", err)
 		os.Exit(1)
+	}
+	if seriesToStdout {
+		return // the series replaced the summary
 	}
 
 	if *asJSON {

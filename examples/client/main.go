@@ -1,7 +1,8 @@
 // Command client drives a running mflushd daemon end to end: it submits
-// a campaign spec, follows the live SSE progress stream, and fetches the
-// aggregate once the campaign completes — the whole service round trip
-// in ~100 lines of stdlib Go.
+// a campaign spec, follows the live SSE progress stream — rendering the
+// per-job interval samples the daemon pushes as IPC sparklines — and
+// fetches the aggregate once the campaign completes: the whole service
+// round trip in a couple hundred lines of stdlib Go.
 //
 // Start a daemon, then run the client:
 //
@@ -54,7 +55,9 @@ func main() {
 }
 
 func run(addr, specPath, format string) error {
-	spec := `{"workloads":["2W1","2W3"],"policies":["ICOUNT","MFLUSH"],"seeds":[1,2],"cycles":20000,"warmup":5000}`
+	// The demo sweep asks for interval samples (one per 2000 measured
+	// cycles), so the daemon streams each job's live time series.
+	spec := `{"workloads":["2W1","2W3"],"policies":["ICOUNT","MFLUSH"],"seeds":[1,2],"cycles":20000,"warmup":5000,"interval":2000}`
 	if specPath != "" {
 		data, err := os.ReadFile(specPath)
 		if err != nil {
@@ -88,8 +91,9 @@ func run(addr, specPath, format string) error {
 	}
 	fmt.Printf("campaign %s accepted: %d jobs\n", sub.ID, sub.Jobs)
 
-	// 2. Follow the SSE stream until the campaign settles.
-	final, err := follow(addr + sub.EventsURL)
+	// 2. Follow the SSE stream until the campaign settles, collecting
+	// each job's live interval-IPC series along the way.
+	final, series, err := follow(addr + sub.EventsURL)
 	if err != nil {
 		return err
 	}
@@ -99,7 +103,16 @@ func run(addr, specPath, format string) error {
 	fmt.Printf("done: %d completed (%d cache hits), %d failed\n",
 		final.Completed, final.Cached, final.Failed)
 
-	// 3. Fetch the aggregate.
+	// 3. Sparkline of IPC over each run that streamed samples (jobs
+	// served from the cache finish without live samples).
+	if len(series.order) > 0 {
+		fmt.Println("live interval IPC:")
+		for _, job := range series.order {
+			fmt.Printf("  %-28s %s\n", job, sparkline(series.byJob[job]))
+		}
+	}
+
+	// 4. Fetch the aggregate.
 	res, err := http.Get(addr + sub.ResultURL + "?format=" + format)
 	if err != nil {
 		return err
@@ -115,16 +128,63 @@ func run(addr, specPath, format string) error {
 	return sc.Err()
 }
 
-// follow consumes the campaign's event stream, echoing progress and
-// returning the terminal status.
-func follow(url string) (status, error) {
+// sampleSeries accumulates each job's live interval-IPC points in the
+// order jobs first streamed.
+type sampleSeries struct {
+	byJob map[string][]float64
+	order []string
+}
+
+func (s *sampleSeries) add(job string, ipc float64) {
+	if s.byJob == nil {
+		s.byJob = make(map[string][]float64)
+	}
+	if _, seen := s.byJob[job]; !seen {
+		s.order = append(s.order, job)
+	}
+	s.byJob[job] = append(s.byJob[job], ipc)
+}
+
+// sparkBlocks are the eight block glyphs a sparkline quantises into.
+var sparkBlocks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders values scaled to the series' own min..max — the
+// shape of the run, one glyph per interval sample.
+func sparkline(vals []float64) string {
+	if len(vals) == 0 {
+		return ""
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	out := make([]rune, len(vals))
+	for i, v := range vals {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(sparkBlocks)-1))
+		}
+		out[i] = sparkBlocks[idx]
+	}
+	return fmt.Sprintf("%s  (%.3f..%.3f)", string(out), lo, hi)
+}
+
+// follow consumes the campaign's event stream, echoing progress,
+// collecting live samples, and returning the terminal status.
+func follow(url string) (status, sampleSeries, error) {
+	var series sampleSeries
 	resp, err := http.Get(url)
 	if err != nil {
-		return status{}, err
+		return status{}, series, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return status{}, decodeError(resp)
+		return status{}, series, decodeError(resp)
 	}
 	var event string
 	sc := bufio.NewScanner(resp.Body)
@@ -143,27 +203,38 @@ func follow(url string) (status, error) {
 					Totals status `json:"totals"`
 				}
 				if err := json.Unmarshal([]byte(data), &p); err != nil {
-					return status{}, err
+					return status{}, series, err
 				}
 				note := ""
 				if p.Cached {
 					note = " (cached)"
 				}
 				fmt.Printf("  [%d/%d] %s%s\n", p.Totals.Completed+p.Totals.Failed, p.Totals.Jobs, p.Job, note)
+			case "sample":
+				var ev struct {
+					Job    string `json:"job"`
+					Sample struct {
+						IntervalIPC float64 `json:"interval_ipc"`
+					} `json:"sample"`
+				}
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					return status{}, series, err
+				}
+				series.add(ev.Job, ev.Sample.IntervalIPC)
 			case "status": // initial snapshot; nothing to print
 			default: // terminal: done, failed or canceled
 				var st status
 				if err := json.Unmarshal([]byte(data), &st); err != nil {
-					return status{}, err
+					return status{}, series, err
 				}
-				return st, nil
+				return st, series, nil
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return status{}, err
+		return status{}, series, err
 	}
-	return status{}, fmt.Errorf("event stream ended without a terminal event")
+	return status{}, series, fmt.Errorf("event stream ended without a terminal event")
 }
 
 // fleet mirrors the GET /v1/workers body (see API.md).

@@ -134,6 +134,14 @@ type Spec struct {
 	Cycles uint64 `json:"cycles"`
 	// Warmup cycles run first and are excluded from measurement.
 	Warmup uint64 `json:"warmup"`
+	// Interval, when positive, asks every job to record an interval
+	// time series: one sample per Interval measured cycles, carried in
+	// each record's summary as interval_samples (and streamed live as
+	// mflushd `sample` SSE events while the job simulates locally).
+	// Sampling is part of the job's content — it changes the record —
+	// so it participates in job keys; interval-less jobs keep their
+	// pre-existing keys.
+	Interval uint64 `json:"interval,omitempty"`
 }
 
 // ReadSpec decodes a JSON spec, rejecting unknown fields so typos in
@@ -237,7 +245,7 @@ func (s Spec) Jobs() ([]Job, error) {
 				for _, seed := range seeds {
 					jobs = append(jobs, Job{
 						Workload: w, Policy: p, Tweak: tw, Seed: seed,
-						Cycles: s.Cycles, Warmup: s.Warmup,
+						Cycles: s.Cycles, Warmup: s.Warmup, Interval: s.Interval,
 					})
 				}
 			}
@@ -260,15 +268,24 @@ type Job struct {
 	Cycles uint64
 	// Warmup runs before the measured window, unmeasured.
 	Warmup uint64
+	// Interval, when positive, samples the measured window every
+	// Interval cycles into the record's interval_samples.
+	Interval uint64
 }
 
 // Key is a content hash of every parameter that determines the job's
 // result (the simulator itself is deterministic). Stores index completed
 // work by this key, so resume survives reordering or extending a spec —
-// only genuinely new parameter combinations run.
+// only genuinely new parameter combinations run. A sampling interval
+// changes the record content, so it is hashed too — but only when set,
+// keeping every pre-interval store entry addressable.
 func (j Job) Key() string {
-	h := sha256.Sum256([]byte(fmt.Sprintf("w=%s p=%s seed=%d cycles=%d warmup=%d %s",
-		j.Workload.Name, j.Policy, j.Seed, j.Cycles, j.Warmup, j.Tweak.canon())))
+	material := fmt.Sprintf("w=%s p=%s seed=%d cycles=%d warmup=%d %s",
+		j.Workload.Name, j.Policy, j.Seed, j.Cycles, j.Warmup, j.Tweak.canon())
+	if j.Interval > 0 {
+		material += fmt.Sprintf(" interval=%d", j.Interval)
+	}
+	h := sha256.Sum256([]byte(material))
 	return hex.EncodeToString(h[:16])
 }
 
@@ -276,13 +293,27 @@ func (j Job) Key() string {
 func (j Job) Options() sim.Options {
 	o := sim.Options{
 		Workload: j.Workload, Policy: j.Policy, Seed: j.Seed,
-		Cycles: j.Cycles, Warmup: j.Warmup,
+		Cycles: j.Cycles, Warmup: j.Warmup, Interval: j.Interval,
 	}
 	if !j.Tweak.IsZero() {
 		tw := j.Tweak
 		o.Tweak = tw.apply
 	}
 	return o
+}
+
+// StreamSamples wires o (built from this job) to republish its live
+// interval sample points keyed by the job's content hash — the one
+// hook behind mflushd's sample SSE events, shared by the daemon's
+// local runner and the cluster router's local fallback so the two
+// execution modes cannot diverge in what they stream. A no-op for
+// unsampled jobs or a nil publish.
+func (j Job) StreamSamples(o *sim.Options, publish func(key string, p sim.SamplePoint)) {
+	if o.Interval == 0 || publish == nil {
+		return
+	}
+	key := j.Key()
+	o.OnSample = func(p sim.SamplePoint) { publish(key, p) }
 }
 
 // String names the job for progress lines and errors.

@@ -32,6 +32,11 @@ type WireJob struct {
 	Cycles uint64 `json:"cycles"`
 	// Warmup runs before the measured window, unmeasured.
 	Warmup uint64 `json:"warmup,omitempty"`
+	// Interval is the sampling period for the job's interval time
+	// series, zero for none. Part of the job key when set, so a worker
+	// that dropped it would fail the key check instead of silently
+	// returning a sample-less record.
+	Interval uint64 `json:"interval,omitempty"`
 }
 
 // Wire renders the job in its portable form, key included.
@@ -44,6 +49,7 @@ func (j Job) Wire() WireJob {
 		Seed:     j.Seed,
 		Cycles:   j.Cycles,
 		Warmup:   j.Warmup,
+		Interval: j.Interval,
 	}
 }
 
@@ -69,6 +75,6 @@ func (w WireJob) Job() (Job, error) {
 	}
 	return Job{
 		Workload: wl, Policy: p, Tweak: w.Tweak, Seed: w.Seed,
-		Cycles: w.Cycles, Warmup: w.Warmup,
+		Cycles: w.Cycles, Warmup: w.Warmup, Interval: w.Interval,
 	}, nil
 }

@@ -21,6 +21,13 @@ type Router struct {
 	coord *Coordinator
 	local func(sim.Options) (*sim.Result, error)
 	slots chan struct{} // bounds local simulations only
+
+	// OnSample, when non-nil, receives live interval sample points from
+	// jobs the router simulates locally (keyed by Job.Key) — the
+	// daemon's sample SSE feed. Set it before the first Run. Jobs
+	// dispatched to remote workers return their samples only in the
+	// completed record; the worker protocol does not stream them.
+	OnSample func(key string, p sim.SamplePoint)
 }
 
 // NewRouter builds a router over coord (nil: always local) running
@@ -62,7 +69,9 @@ func (r *Router) Run(ctx context.Context, j campaign.Job) (campaign.Record, erro
 		return campaign.Record{}, ctx.Err()
 	}
 	defer func() { <-r.slots }()
-	res, err := r.local(j.Options())
+	o := j.Options()
+	j.StreamSamples(&o, r.OnSample)
+	res, err := r.local(o)
 	if err != nil {
 		return campaign.Record{}, err
 	}

@@ -1,0 +1,52 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/sim"
+	"repro/internal/simtest"
+	"repro/internal/workload"
+)
+
+// TestRouterLocalOnSample: a sampled job simulated by the router's local
+// fallback streams its interval points through OnSample, keyed by the
+// job's content hash, and the record still carries the full series.
+func TestRouterLocalOnSample(t *testing.T) {
+	w, _ := workload.ByName("2W1")
+	j := campaign.Job{Workload: w, Policy: sim.SpecICOUNT, Seed: 1, Cycles: 1000, Interval: 250}
+
+	r := NewRouter(nil, 1, simtest.New().Run)
+	var keys []string
+	var points []sim.SamplePoint
+	r.OnSample = func(key string, p sim.SamplePoint) {
+		keys = append(keys, key)
+		points = append(points, p)
+	}
+	rec, err := r.Run(context.Background(), j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("streamed %d live samples, want 4", len(points))
+	}
+	for i, k := range keys {
+		if k != j.Key() {
+			t.Fatalf("sample %d keyed %s, want %s", i, k, j.Key())
+		}
+	}
+	if got := len(rec.Summary.IntervalSamples); got != 4 {
+		t.Fatalf("record carries %d samples, want 4", got)
+	}
+
+	// An interval-less job must not touch the hook.
+	points = points[:0]
+	j.Interval = 0
+	if _, err := r.Run(context.Background(), j); err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 0 {
+		t.Fatalf("unsampled job streamed %d samples", len(points))
+	}
+}

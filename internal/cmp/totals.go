@@ -1,0 +1,54 @@
+package cmp
+
+import "repro/internal/stats"
+
+// Counter IDs the incremental digest reads. MustRegister returns the same
+// dense ID the producing packages (pipeline, mem) allocated for the name,
+// so ReadTotals polls the counters with plain array reads.
+var (
+	cPolicyFlushes = stats.MustRegister("policy.flushes")
+	cL2Hits        = stats.MustRegister("l2.hits")
+	cL2Misses      = stats.MustRegister("l2.misses")
+)
+
+// Totals is the chip-wide cumulative measurement digest since the last
+// measurement reset: the scalar metrics an interval sampler polls while
+// the simulation runs, without waiting for end-of-run collection.
+type Totals struct {
+	// Committed is the chip-wide committed instruction count.
+	Committed uint64
+	// Flushes counts FLUSH events across all cores.
+	Flushes uint64
+	// FlushedInsts counts instructions squashed by the FLUSH mechanism.
+	FlushedInsts uint64
+	// WastedEnergy is the FLUSH-waste energy account in energy units.
+	WastedEnergy float64
+	// L2Hits and L2Misses are the shared-L2 event counts.
+	L2Hits, L2Misses uint64
+}
+
+// ReadTotals fills t with the current cumulative totals. It allocates
+// nothing and mutates no simulator state, so probes may call it every
+// cycle without perturbing determinism or the zero-allocation cycle loop.
+func (ch *Chip) ReadTotals(t *Totals) {
+	*t = Totals{}
+	for _, c := range ch.cores {
+		t.Committed += c.CommittedTotal()
+		t.Flushes += c.Stats().Value(cPolicyFlushes)
+		t.FlushedInsts += c.Energy().FlushedTotal()
+		t.WastedEnergy += c.Energy().Wasted()
+	}
+	l2 := ch.l2.Counters()
+	t.L2Hits = l2.Value(cL2Hits)
+	t.L2Misses = l2.Value(cL2Misses)
+}
+
+// AppendCommitted appends the per-thread committed counts in global
+// thread order (core-major) to dst and returns the extended slice —
+// allocation-free once dst has capacity.
+func (ch *Chip) AppendCommitted(dst []uint64) []uint64 {
+	for _, c := range ch.cores {
+		dst = c.AppendCommitted(dst)
+	}
+	return dst
+}

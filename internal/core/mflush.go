@@ -96,6 +96,17 @@ func (f *MCRegFile) Snapshot() []uint8 {
 	return out
 }
 
+// AppendSnapshot appends the newest value per bank to dst and returns the
+// extended slice. It is the allocation-free form of Snapshot for per-
+// interval samplers: pass dst[:0] of a reused buffer to refresh it in
+// place.
+func (f *MCRegFile) AppendSnapshot(dst []uint8) []uint8 {
+	for _, h := range f.histories {
+		dst = append(dst, h[0])
+	}
+	return dst
+}
+
 func clamp8(v int) uint8 {
 	if v < 0 {
 		return 0

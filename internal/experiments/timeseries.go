@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TimeSeriesRow is one interval sample of one policy's run: the
+// time-resolved view (Hermes-style per-interval metrics) that the
+// end-of-run figures cannot show. MCRegMin/Max fold the MFLUSH MCReg
+// state across cores and banks; both are -1 for other policies.
+type TimeSeriesRow struct {
+	// Workload and Policy name the run the sample belongs to.
+	Workload, Policy string
+	// MeasuredCycle is the sample position within the measured window.
+	MeasuredCycle uint64
+	// IntervalIPC is the system throughput within the sample's interval;
+	// IPC is cumulative since measurement start.
+	IntervalIPC, IPC float64
+	// Flushes and L2Misses are cumulative chip-wide counts.
+	Flushes, L2Misses uint64
+	// MCRegMin and MCRegMax bound the MCReg latency predictions, -1 when
+	// the policy has no MCReg file.
+	MCRegMin, MCRegMax int
+}
+
+// TimeSeries runs one workload under each given policy with an interval
+// recorder attached, returning the interleaved per-policy series
+// (policy-major, then time) plus the final results in policy order. It
+// is the interval-capable harness behind temporal analyses: how IPC,
+// flush rate and the MCReg predictions evolve as L2-miss behaviour
+// develops over a run.
+func TimeSeries(cfg Config, workloadName string, policies []sim.PolicySpec, interval uint64) ([]TimeSeriesRow, []*sim.Result, error) {
+	if interval == 0 {
+		return nil, nil, fmt.Errorf("experiments: time series needs a positive interval")
+	}
+	w, ok := workload.ByName(workloadName)
+	if !ok {
+		return nil, nil, fmt.Errorf("experiments: unknown workload %q", workloadName)
+	}
+	var opts []sim.Options
+	for _, p := range policies {
+		o := cfg.options(w, p)
+		o.Interval = interval
+		opts = append(opts, o)
+	}
+	res, err := runGrid(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rows []TimeSeriesRow
+	for _, r := range res {
+		for _, p := range r.Samples {
+			row := TimeSeriesRow{
+				Workload: r.Workload, Policy: r.Policy,
+				MeasuredCycle: p.MeasuredCycles,
+				IntervalIPC:   p.IntervalIPC, IPC: p.IPC,
+				Flushes: p.Flushes, L2Misses: p.L2Misses,
+				MCRegMin: -1, MCRegMax: -1,
+			}
+			if lo, hi, ok := p.MCRegBounds(); ok {
+				row.MCRegMin, row.MCRegMax = lo, hi
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, res, nil
+}

@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestTimeSeriesShape runs the interval harness on one contended
+// workload under the baseline and the paper's policy and checks the
+// series' structure: full coverage of the measured window per policy,
+// MCReg state present exactly for MFLUSH, and cumulative counters
+// monotone within each run.
+func TestTimeSeriesShape(t *testing.T) {
+	cfg := testCfg()
+	const interval = 2000
+	policies := []sim.PolicySpec{sim.SpecICOUNT, sim.SpecMFLUSH}
+	rows, res, err := TimeSeries(cfg, "8W3", policies, interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(policies) {
+		t.Fatalf("%d results for %d policies", len(res), len(policies))
+	}
+	perPolicy := int(cfg.Cycles / interval)
+	if want := perPolicy * len(policies); len(rows) != want {
+		t.Fatalf("%d rows, want %d", len(rows), want)
+	}
+	for i, p := range policies {
+		series := rows[i*perPolicy : (i+1)*perPolicy]
+		var prevFlushes uint64
+		for k, row := range series {
+			if row.Policy != p.String() || row.Workload != "8W3" {
+				t.Fatalf("row %d labelled %s/%s", k, row.Workload, row.Policy)
+			}
+			if want := uint64(k+1) * interval; row.MeasuredCycle != want {
+				t.Fatalf("%s row %d at cycle %d, want %d", p, k, row.MeasuredCycle, want)
+			}
+			if row.Flushes < prevFlushes {
+				t.Fatalf("%s: cumulative flushes decreased (%d -> %d)", p, prevFlushes, row.Flushes)
+			}
+			prevFlushes = row.Flushes
+			hasMCReg := row.MCRegMin >= 0
+			if wantMCReg := p.Kind == sim.MFLUSH; hasMCReg != wantMCReg {
+				t.Fatalf("%s row %d: MCReg presence = %v", p, k, hasMCReg)
+			}
+		}
+		last := series[len(series)-1]
+		if last.IPC != res[i].IPC {
+			t.Fatalf("%s: final cumulative IPC %v != result %v", p, last.IPC, res[i].IPC)
+		}
+	}
+
+	if _, _, err := TimeSeries(cfg, "8W3", policies, 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if _, _, err := TimeSeries(cfg, "nope", policies, interval); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

@@ -230,6 +230,26 @@ func (c *Core) Committed() []uint64 {
 	return out
 }
 
+// AppendCommitted appends the per-thread committed counts to dst and
+// returns the extended slice — the allocation-free form of Committed for
+// per-interval samplers (pass dst[:0] of a reused buffer).
+func (c *Core) AppendCommitted(dst []uint64) []uint64 {
+	for _, t := range c.threads {
+		dst = append(dst, t.committed)
+	}
+	return dst
+}
+
+// CommittedTotal returns the core-wide committed instruction count
+// without allocating.
+func (c *Core) CommittedTotal() uint64 {
+	var n uint64
+	for _, t := range c.threads {
+		n += t.committed
+	}
+	return n
+}
+
 // lineOf returns the cache line address (64B lines throughout).
 func (c *Core) lineOf(addr uint64) uint64 { return addr >> 6 }
 

@@ -7,7 +7,15 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/sim"
 )
+
+// isTerminalEvent reports whether an SSE event name ends the stream:
+// anything that is not a snapshot, a progress report or a live sample
+// is one of the terminal states (done, failed, canceled).
+func isTerminalEvent(name string) bool {
+	return name != "status" && name != "progress" && name != "sample"
+}
 
 // Campaign lifecycle states as reported by the status API. A campaign
 // is born running (admission control happens before it exists) and ends
@@ -62,6 +70,12 @@ type run struct {
 	// Only the serialised progress callback and the post-settle cleanup
 	// touch it.
 	charged map[string]bool
+	// jobNames maps sampled jobs' keys to display names for the sample
+	// SSE events; nil when the campaign requested no sampling.
+	jobNames map[string]string
+	// sampleBudget is the expected number of live samples, used to size
+	// SSE subscriber buffers so samples don't crowd out progress events.
+	sampleBudget int
 	// finished closes when the campaign reaches a terminal state; SSE
 	// handlers select on it so terminal events are never missed.
 	finished chan struct{}
@@ -77,12 +91,67 @@ type run struct {
 }
 
 func newRun(id string, jobs []campaign.Job, now time.Time) *run {
-	return &run{
+	c := &run{
 		id: id, jobs: jobs, created: now,
 		finished: make(chan struct{}),
 		state:    StateRunning,
 		subs:     make(map[chan sseEvent]struct{}),
 	}
+	// Each sampled job fires Cycles/Interval times; budget the SSE
+	// buffers for the whole series, within reason. Saturate in uint64
+	// before converting: a hostile-but-valid spec (cycles 2^63,
+	// interval 1) must clamp to the cap, not overflow int negative and
+	// panic the channel make in subscribe.
+	const maxSampleBudget = 4096
+	var budget uint64
+	for _, j := range jobs {
+		if j.Interval > 0 {
+			if c.jobNames == nil {
+				c.jobNames = make(map[string]string)
+			}
+			c.jobNames[j.Key()] = j.String()
+			if n := j.Cycles / j.Interval; n > maxSampleBudget {
+				budget = maxSampleBudget
+			} else if budget += n; budget > maxSampleBudget {
+				budget = maxSampleBudget
+			}
+		}
+	}
+	c.sampleBudget = int(budget)
+	return c
+}
+
+// sampledKeys returns the keys of the campaign's sampled jobs — the
+// sample-hub subscription set.
+func (c *run) sampledKeys() []string {
+	keys := make([]string, 0, len(c.jobNames))
+	for k := range c.jobNames {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// sampleEvent is the data payload of one SSE "sample" event: a live
+// interval sample from a job simulating right now.
+type sampleEvent struct {
+	// Job names the sampled job (Job.String form).
+	Job string `json:"job"`
+	// Key is the job's content hash, matching the record it will land in.
+	Key string `json:"key"`
+	// Sample is the interval digest (sim.SamplePoint schema).
+	Sample sim.SamplePoint `json:"sample"`
+}
+
+// onSample broadcasts one live sample to the campaign's SSE
+// subscribers. It runs on the simulating goroutine; the broadcast is
+// non-blocking, so a slow subscriber drops samples rather than stalling
+// the simulation.
+func (c *run) onSample(key string, p sim.SamplePoint) {
+	c.mu.Lock()
+	c.broadcastLocked(sseEvent{name: "sample", data: sampleEvent{
+		Job: c.jobNames[key], Key: key, Sample: p,
+	}})
+	c.mu.Unlock()
 }
 
 // status snapshots the campaign for the API.
@@ -152,12 +221,13 @@ func (c *run) finish(records []campaign.Record, err error) {
 }
 
 // subscribe registers an SSE listener. The buffer covers every event the
-// campaign can still emit, so broadcasts never block the scheduler; the
+// campaign can still emit — progress per job plus the expected live
+// samples (bounded) — so broadcasts never block the scheduler; the
 // terminal event is additionally guaranteed through the finished channel.
 func (c *run) subscribe() chan sseEvent {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	ch := make(chan sseEvent, len(c.jobs)+8)
+	ch := make(chan sseEvent, len(c.jobs)+c.sampleBudget+8)
 	c.subs[ch] = struct{}{}
 	return ch
 }

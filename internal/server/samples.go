@@ -1,0 +1,73 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// sampleHub fans live interval sample points from running simulations
+// out to the campaigns that contain the sampled job. Publishing is keyed
+// by job key — the same content hash the cache single-flights on — so
+// when several campaigns wait on one in-flight job, every one of them
+// sees its live samples, not just the leader's.
+type sampleHub struct {
+	mu   sync.Mutex
+	subs map[string]map[*sampleSub]struct{} // job key -> subscribers
+}
+
+// sampleSub is one campaign's subscription across all its sampled jobs.
+type sampleSub struct {
+	fn func(key string, p sim.SamplePoint)
+}
+
+func newSampleHub() *sampleHub {
+	return &sampleHub{subs: make(map[string]map[*sampleSub]struct{})}
+}
+
+// subscribe registers fn for every listed job key and returns the
+// cancel that removes the subscription. fn is called on the simulating
+// goroutine; keep it non-blocking (the registry's broadcast already is).
+func (h *sampleHub) subscribe(keys []string, fn func(string, sim.SamplePoint)) (cancel func()) {
+	if len(keys) == 0 {
+		return func() {}
+	}
+	sub := &sampleSub{fn: fn}
+	h.mu.Lock()
+	for _, k := range keys {
+		set := h.subs[k]
+		if set == nil {
+			set = make(map[*sampleSub]struct{})
+			h.subs[k] = set
+		}
+		set[sub] = struct{}{}
+	}
+	h.mu.Unlock()
+	return func() {
+		h.mu.Lock()
+		for _, k := range keys {
+			if set := h.subs[k]; set != nil {
+				delete(set, sub)
+				if len(set) == 0 {
+					delete(h.subs, k)
+				}
+			}
+		}
+		h.mu.Unlock()
+	}
+}
+
+// publish delivers one live sample point to every campaign subscribed
+// to the job key. No subscribers is the common case for cache-warm
+// daemons and costs one map lookup.
+func (h *sampleHub) publish(key string, p sim.SamplePoint) {
+	h.mu.Lock()
+	var fns []func(string, sim.SamplePoint)
+	for sub := range h.subs[key] {
+		fns = append(fns, sub.fn)
+	}
+	h.mu.Unlock()
+	for _, fn := range fns {
+		fn(key, p)
+	}
+}

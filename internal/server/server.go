@@ -70,6 +70,7 @@ type Server struct {
 	cache        *campaign.Cache
 	sched        *campaign.Scheduler
 	cluster      *cluster.Coordinator // nil: single-process mode
+	samples      *sampleHub           // live interval samples, keyed by job
 	mux          *http.ServeMux
 	maxQueued    int
 	maxCampaigns int
@@ -103,6 +104,7 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cluster:      cfg.Cluster,
+		samples:      newSampleHub(),
 		maxQueued:    maxQueued,
 		maxCampaigns: maxCampaigns,
 		baseCtx:      ctx,
@@ -116,10 +118,27 @@ func New(cfg Config) *Server {
 		// cheap wait, and local simulations are bounded inside the
 		// router, not by pool goroutines.
 		router := cluster.NewRouter(cfg.Cluster, cfg.Workers, cfg.Runner)
+		router.OnSample = s.samples.publish
 		s.cache = campaign.NewJobCache(cfg.Store, router.Run)
 		s.sched = campaign.NewShared(maxQueued)
 	} else {
-		s.cache = campaign.NewCache(cfg.Store, cfg.Runner)
+		// Single-process mode: a job-level runner so sampled jobs can
+		// stream live interval points into the hub; everything else is
+		// NewCache semantics (the runner ignores ctx, like a local
+		// simulation always has).
+		runner := cfg.Runner
+		if runner == nil {
+			runner = sim.Run
+		}
+		s.cache = campaign.NewJobCache(cfg.Store, func(_ context.Context, j campaign.Job) (campaign.Record, error) {
+			o := j.Options()
+			j.StreamSamples(&o, s.samples.publish)
+			res, err := runner(o)
+			if err != nil {
+				return campaign.Record{}, err
+			}
+			return campaign.NewRecord(j, res), nil
+		})
 		s.sched = campaign.NewShared(cfg.Workers)
 	}
 	s.mux = http.NewServeMux()
@@ -259,6 +278,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 func (s *Server) runCampaign(ctx context.Context, c *run) {
 	defer s.wg.Done()
 	defer c.cancel() // release the context once settled
+	// Sampled jobs stream live interval points; route the ones belonging
+	// to this campaign into its SSE subscribers for as long as it runs.
+	unsubscribe := s.samples.subscribe(c.sampledKeys(), c.onSample)
+	defer unsubscribe()
 	records, err := s.sched.RunCached(ctx, c.jobs, s.cache, func(p campaign.Progress) {
 		// Release the job's admission slot, if it was charged one (jobs
 		// already cached at submit never were). Callbacks are serialised,
@@ -427,7 +450,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			fl.Flush()
-			if ev.name != "progress" && ev.name != "status" {
+			if isTerminalEvent(ev.name) {
 				return // terminal event delivered
 			}
 		case <-c.finished:
@@ -439,7 +462,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 					if writeSSE(w, ev) != nil {
 						return
 					}
-					if ev.name != "progress" && ev.name != "status" {
+					if isTerminalEvent(ev.name) {
 						fl.Flush()
 						return
 					}

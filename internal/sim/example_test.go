@@ -52,3 +52,61 @@ func ExampleParseSpec() {
 	// mflush-h4 -> MFLUSH-H4
 	// error: bad FLUSH trigger in "FLUSH-S0"
 }
+
+// ExampleOpen steps the same simulation as ExampleRun incrementally:
+// warm up, reset measurement, then advance in uneven chunks. Chunking
+// never changes the result — Finish returns exactly what Run prints.
+func ExampleOpen() {
+	w, _ := workload.ByName("2W1")
+	s, err := sim.Open(sim.Options{
+		Workload: w,
+		Policy:   sim.SpecMFLUSH,
+		Seed:     1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	s.Step(5000) // warm-up
+	s.ResetMeasurement()
+	for _, chunk := range []uint64{1, 7, 9992, 10000} {
+		s.Step(chunk)
+	}
+	res, err := s.Finish()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s under %s: IPC %.3f, %d flushes\n",
+		res.Workload, res.Policy, res.IPC, res.Flushes)
+	// Output:
+	// 2W1 under MFLUSH: IPC 0.265, 8 flushes
+}
+
+// ExampleSession_Observe watches a run from the inside: a Recorder
+// probe samples the measured window every 5000 cycles, turning the
+// one-number IPC of end-of-run reporting into a time series.
+func ExampleSession_Observe() {
+	w, _ := workload.ByName("2W1")
+	s, err := sim.Open(sim.Options{Workload: w, Policy: sim.SpecMFLUSH, Seed: 1})
+	if err != nil {
+		panic(err)
+	}
+	s.Step(5000)
+	s.ResetMeasurement()
+	rec := &sim.Recorder{}
+	if err := s.Observe(rec.Probe(5000)); err != nil {
+		panic(err)
+	}
+	s.Step(20000)
+	if _, err := s.Finish(); err != nil {
+		panic(err)
+	}
+	for _, p := range rec.Points {
+		fmt.Printf("cycle %5d: interval IPC %.3f, cumulative %.3f\n",
+			p.MeasuredCycles, p.IntervalIPC, p.IPC)
+	}
+	// Output:
+	// cycle  5000: interval IPC 0.132, cumulative 0.132
+	// cycle 10000: interval IPC 0.355, cumulative 0.244
+	// cycle 15000: interval IPC 0.342, cumulative 0.277
+	// cycle 20000: interval IPC 0.229, cumulative 0.265
+}

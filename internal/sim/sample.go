@@ -1,0 +1,169 @@
+package sim
+
+// Sample is the cheap interval digest of a running Session: cumulative
+// metrics over the current measurement window (everything since the last
+// ResetMeasurement, or since Open). It is the unit probes observe and
+// Snapshot returns.
+//
+// Samples are refreshed in place: the Committed and MCReg slices belong
+// to the Session and are reused on every refresh, so a Sample is valid
+// only until the next Step, Snapshot or probe firing. Callers that
+// retain samples convert them with Point, which deep-copies.
+type Sample struct {
+	// Cycle is the absolute chip cycle at which the sample was taken
+	// (warm-up included).
+	Cycle uint64
+	// MeasuredCycles is the length of the measurement window so far.
+	MeasuredCycles uint64
+	// Committed holds per-thread committed instructions in global thread
+	// order, cumulative over the window.
+	Committed []uint64
+	// IPC is the cumulative system throughput over the window.
+	IPC float64
+	// Flushes counts FLUSH events across the chip over the window.
+	Flushes uint64
+	// FlushedInsts counts instructions squashed by FLUSH over the window.
+	FlushedInsts uint64
+	// WastedEnergy is the cumulative FLUSH-waste in energy units.
+	WastedEnergy float64
+	// L2Hits and L2Misses are the shared-L2 event deltas over the window.
+	L2Hits, L2Misses uint64
+	// MCReg is the MFLUSH MCReg state, indexed [core][bank] — the newest
+	// latched L2-hit latency per bank. Nil when the policy is not MFLUSH.
+	MCReg [][]uint8
+
+	// resetGen counts the session's ResetMeasurement calls at sampling
+	// time, letting recorders rebase their interval deltas exactly when
+	// the window (and its counters) restarted — MeasuredCycles alone
+	// cannot distinguish a reset from ordinary progress in every case.
+	resetGen uint64
+}
+
+// SamplePoint is the portable, retainable form of a Sample: every slice
+// is freshly allocated, and the field layout is the JSON schema used by
+// mflushsim -interval, campaign records (interval_samples) and the
+// daemon's sample SSE events.
+type SamplePoint struct {
+	// Cycle is the absolute chip cycle of the sample.
+	Cycle uint64 `json:"cycle"`
+	// MeasuredCycles is the measurement-window length at the sample.
+	MeasuredCycles uint64 `json:"measured_cycles"`
+	// IPC is the cumulative system throughput over the window.
+	IPC float64 `json:"ipc"`
+	// IntervalIPC is the throughput within the last sampling interval
+	// (between the previous point and this one).
+	IntervalIPC float64 `json:"interval_ipc"`
+	// Committed holds cumulative per-thread committed instructions.
+	Committed []uint64 `json:"committed_per_thread"`
+	// Flushes is the cumulative chip-wide FLUSH count.
+	Flushes uint64 `json:"flushes"`
+	// FlushedInsts is the cumulative FLUSH-squashed instruction count.
+	FlushedInsts uint64 `json:"flushed_instructions"`
+	// WastedEnergy is the cumulative FLUSH-waste in energy units.
+	WastedEnergy float64 `json:"wasted_energy_units"`
+	// L2Hits and L2Misses are cumulative shared-L2 event counts.
+	L2Hits   uint64 `json:"l2_hits"`
+	L2Misses uint64 `json:"l2_misses"`
+	// MCReg is the per-core, per-bank MFLUSH MCReg state, omitted for
+	// other policies. (Plain ints: a [][]uint8 would JSON-encode the
+	// inner slices as base64.)
+	MCReg [][]int `json:"mcreg,omitempty"`
+}
+
+// Point deep-copies the sample into its portable form. IntervalIPC is
+// zero; recorders that know the previous point fill it in.
+func (s *Sample) Point() SamplePoint {
+	p := SamplePoint{
+		Cycle:          s.Cycle,
+		MeasuredCycles: s.MeasuredCycles,
+		IPC:            s.IPC,
+		Committed:      append([]uint64(nil), s.Committed...),
+		Flushes:        s.Flushes,
+		FlushedInsts:   s.FlushedInsts,
+		WastedEnergy:   s.WastedEnergy,
+		L2Hits:         s.L2Hits,
+		L2Misses:       s.L2Misses,
+	}
+	if s.MCReg != nil {
+		p.MCReg = make([][]int, len(s.MCReg))
+		for c, banks := range s.MCReg {
+			row := make([]int, len(banks))
+			for b, v := range banks {
+				row[b] = int(v)
+			}
+			p.MCReg[c] = row
+		}
+	}
+	return p
+}
+
+// MCRegBounds folds the MCReg state to its minimum and maximum across
+// all cores and banks — the scalar digest CSV reports use. ok is false
+// (with zero bounds) when the point has no MCReg state (non-MFLUSH
+// policies).
+func (p SamplePoint) MCRegBounds() (min, max int, ok bool) {
+	if len(p.MCReg) == 0 {
+		return 0, 0, false
+	}
+	min, max = p.MCReg[0][0], p.MCReg[0][0]
+	for _, banks := range p.MCReg {
+		for _, v := range banks {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+	}
+	return min, max, true
+}
+
+// committedTotal sums the per-thread counts.
+func (s *Sample) committedTotal() uint64 {
+	var n uint64
+	for _, c := range s.Committed {
+		n += c
+	}
+	return n
+}
+
+// Recorder turns a probe into a retained time series: each firing is
+// deep-copied into Points with its IntervalIPC computed from the
+// previous point. Register it with Session.Observe(rec.Probe(every)).
+// The zero value is ready to use.
+type Recorder struct {
+	// Points is the series recorded so far, in firing order.
+	Points []SamplePoint
+	// OnPoint, when non-nil, additionally receives each point as it is
+	// recorded — the live-streaming hook mflushsim and the daemon use.
+	OnPoint func(SamplePoint)
+
+	prevTotal    uint64
+	prevMeasured uint64
+	prevResetGen uint64
+}
+
+// Probe returns the probe that feeds the recorder every `every` cycles.
+func (r *Recorder) Probe(every uint64) Probe {
+	return Probe{Every: every, Fn: r.record}
+}
+
+// record is the probe body: deep-copy, compute the interval delta, emit.
+func (r *Recorder) record(s *Sample) {
+	p := s.Point()
+	total := s.committedTotal()
+	if s.resetGen != r.prevResetGen {
+		// ResetMeasurement ran between firings: the window (and its
+		// counters) restarted, so the delta baseline restarts too.
+		r.prevTotal, r.prevMeasured, r.prevResetGen = 0, 0, s.resetGen
+	}
+	if dc := s.MeasuredCycles - r.prevMeasured; dc > 0 {
+		p.IntervalIPC = float64(total-r.prevTotal) / float64(dc)
+	}
+	r.prevTotal, r.prevMeasured = total, s.MeasuredCycles
+	r.Points = append(r.Points, p)
+	if r.OnPoint != nil {
+		r.OnPoint(p)
+	}
+}

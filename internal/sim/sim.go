@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/cmp"
 	"repro/internal/config"
@@ -136,6 +137,16 @@ type Options struct {
 	// 2i and 2i+1 share core i. Functional L2 pre-warming is skipped:
 	// recorded traces carry no footprint metadata, so rely on Warmup.
 	ThreadTraces [][]isa.Inst
+	// Interval, when positive, samples the measured window every
+	// Interval cycles into Result.Samples (a Recorder probe registered
+	// after warm-up). Zero leaves Result.Samples nil and the run
+	// byte-identical to an unsampled one.
+	Interval uint64
+	// OnSample, when non-nil and Interval is positive, additionally
+	// receives each sample point live as the simulation takes it — the
+	// hook behind mflushsim's streaming -interval output and mflushd's
+	// per-job sample SSE events. It runs on the simulating goroutine.
+	OnSample func(SamplePoint)
 }
 
 // Result is the outcome of one run.
@@ -158,6 +169,9 @@ type Result struct {
 	Counters stats.Set
 	// Flushes is the number of FLUSH events across the chip.
 	Flushes uint64
+	// Samples is the interval time series recorded when Options.Interval
+	// was positive; nil otherwise.
+	Samples []SamplePoint
 }
 
 // WastedEnergy returns the Figure 11 metric in energy units.
@@ -182,6 +196,9 @@ type Summary struct {
 	L2HitMax        int               `json:"l2_hit_max_cycles"`
 	L2Hits          uint64            `json:"l2_hits_measured"`
 	Counters        map[string]uint64 `json:"counters"`
+	// IntervalSamples carries the interval time series for runs that
+	// requested one (Options.Interval > 0), omitted otherwise.
+	IntervalSamples []SamplePoint `json:"interval_samples,omitempty"`
 }
 
 // Summary builds the serialisable digest.
@@ -207,29 +224,45 @@ func (r *Result) Summary() Summary {
 		L2HitMax:        r.HitLatency.Max(),
 		L2Hits:          r.HitLatency.Count(),
 		Counters:        counters,
+		IntervalSamples: r.Samples,
 	}
 }
 
-// Run executes one simulation.
+// Run executes one simulation to completion. It is a thin wrapper over
+// the Session API — Open, Step(Warmup), ResetMeasurement, Step(Cycles),
+// Finish — and its output is bit-identical to the pre-Session one-shot
+// driver (test-enforced with golden fingerprints).
 func Run(opt Options) (*Result, error) {
 	if opt.Cycles == 0 {
 		return nil, fmt.Errorf("sim: zero cycle budget")
 	}
-	chip, err := buildChip(opt)
+	s, err := Open(opt)
 	if err != nil {
 		return nil, err
 	}
-
 	if opt.Warmup > 0 {
-		chip.Run(opt.Warmup)
-		for _, c := range chip.Cores() {
-			c.ResetMeasurement()
-		}
-		chip.L2().ResetStats()
+		s.Step(opt.Warmup)
+		s.ResetMeasurement()
 	}
-	chip.Run(opt.Cycles)
-
-	return collect(chip, opt)
+	var rec *Recorder
+	if opt.Interval > 0 {
+		// Registered after warm-up so the series covers exactly the
+		// measured window, firing at measured cycles Interval,
+		// 2*Interval, ...
+		rec = &Recorder{OnPoint: opt.OnSample}
+		if err := s.Observe(rec.Probe(opt.Interval)); err != nil {
+			return nil, err
+		}
+	}
+	s.Step(opt.Cycles)
+	res, err := s.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if rec != nil {
+		res.Samples = rec.Points
+	}
+	return res, nil
 }
 
 // buildChip assembles the machine, workload sources and policies for one
@@ -364,21 +397,25 @@ func prewarmL2(chip *cmp.Chip, profiles []synth.Profile, bases [][]uint64) {
 	}
 }
 
-func collect(chip *cmp.Chip, opt Options) (*Result, error) {
+// collect folds the chip's accumulated measurements into a Result over a
+// measurement window of `cycles` cycles (the IPC denominator).
+func collect(chip *cmp.Chip, opt Options, cycles uint64) (*Result, error) {
 	if err := chip.CheckInvariants(); err != nil {
 		return nil, err
 	}
 	name := opt.Name
 	if name == "" {
-		name = opt.Workload.Name
-	}
-	if len(opt.ThreadTraces) > 0 && name == "" {
-		name = fmt.Sprintf("replay-%d", len(opt.ThreadTraces))
+		if len(opt.ThreadTraces) > 0 {
+			// Replay runs have no Workload; name them by trace count.
+			name = fmt.Sprintf("replay-%d", len(opt.ThreadTraces))
+		} else {
+			name = opt.Workload.Name
+		}
 	}
 	res := &Result{
 		Workload:   name,
 		Policy:     opt.Policy.String(),
-		Cycles:     opt.Cycles,
+		Cycles:     cycles,
 		HitLatency: chip.L2().HitLatency(),
 	}
 	var total uint64
@@ -389,20 +426,24 @@ func collect(chip *cmp.Chip, opt Options) (*Result, error) {
 			coreTotal += n
 		}
 		total += coreTotal
-		res.PerCore = append(res.PerCore, float64(coreTotal)/float64(opt.Cycles))
+		res.PerCore = append(res.PerCore, float64(coreTotal)/float64(cycles))
 		res.Energy.Merge(c.Energy())
 		res.Counters.Merge(c.Stats())
 		res.Flushes += c.Stats().Get("policy.flushes")
 	}
 	res.Counters.Merge(chip.L2().Counters())
-	res.IPC = float64(total) / float64(opt.Cycles)
+	res.IPC = float64(total) / float64(cycles)
 	return res, nil
 }
 
-// Speedup returns (a/b - 1) as a fraction: the throughput gain of a over b.
+// Speedup returns (a/b - 1) as a fraction: the throughput gain of a
+// over b. A zero-throughput baseline has no defined speedup, so the
+// result is NaN — propagating loudly through downstream means and
+// reports instead of masquerading as "no gain" — and callers that want
+// a sentinel should check math.IsNaN.
 func Speedup(a, b *Result) float64 {
 	if b.IPC == 0 {
-		return 0
+		return math.NaN()
 	}
 	return a.IPC/b.IPC - 1
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 
 	"repro/internal/config"
@@ -159,7 +160,8 @@ func TestSpeedupMath(t *testing.T) {
 	if got := Speedup(a, b); got < 0.099 || got > 0.101 {
 		t.Fatalf("speedup = %v, want 0.1", got)
 	}
-	if Speedup(a, &Result{}) != 0 {
-		t.Fatal("division by zero not guarded")
+	// A zero-IPC baseline has no defined speedup: NaN, not a silent 0.
+	if got := Speedup(a, &Result{}); !math.IsNaN(got) {
+		t.Fatalf("speedup over zero baseline = %v, want NaN", got)
 	}
 }

@@ -42,13 +42,32 @@ func (r *Runner) Run(o sim.Options) (*sim.Result, error) {
 	if r.Fail {
 		return nil, errors.New("synthetic simulator failure")
 	}
-	return &sim.Result{
+	res := &sim.Result{
 		Workload:   o.Workload.Name,
 		Policy:     o.Policy.String(),
 		Cycles:     o.Cycles,
 		IPC:        1.0 + float64(o.Seed)/10,
 		HitLatency: stats.NewHistogram(8),
-	}, nil
+	}
+	// Honour interval sampling the way sim.Run does: one deterministic
+	// point per Interval measured cycles, teed live through OnSample and
+	// retained in the result.
+	if o.Interval > 0 {
+		for c := o.Interval; c <= o.Cycles; c += o.Interval {
+			p := sim.SamplePoint{
+				Cycle:          o.Warmup + c,
+				MeasuredCycles: c,
+				IPC:            res.IPC,
+				IntervalIPC:    res.IPC,
+				Committed:      []uint64{c},
+			}
+			res.Samples = append(res.Samples, p)
+			if o.OnSample != nil {
+				o.OnSample(p)
+			}
+		}
+	}
+	return res, nil
 }
 
 // Total returns the number of simulator invocations so far.

@@ -258,6 +258,16 @@ func (s *Set) Inc(name string, delta uint64) {
 	s.vals[name] += delta
 }
 
+// Value returns the registered counter's value without consulting the
+// name registry: one bounds check and one array read, so samplers that
+// poll counters every few cycles pay no lock or hash.
+func (s *Set) Value(id CounterID) uint64 {
+	if int(id) < len(s.dense) {
+		return s.dense[id]
+	}
+	return 0
+}
+
 // Get returns the counter value (zero if never incremented).
 func (s *Set) Get(name string) uint64 {
 	if id, ok := idOf(name); ok {

@@ -37,6 +37,27 @@ type Options = sim.Options
 // Result is the outcome of one run. See sim.Result.
 type Result = sim.Result
 
+// Session is an open, incrementally steppable simulation: advance it
+// with Step, observe it with Snapshot and Observe, close it with
+// Finish. See sim.Session.
+type Session = sim.Session
+
+// Sample is the cheap interval digest a Session exposes while running.
+// See sim.Sample.
+type Sample = sim.Sample
+
+// SamplePoint is the retainable, serialisable form of a Sample. See
+// sim.SamplePoint.
+type SamplePoint = sim.SamplePoint
+
+// Probe is a periodic observer registered with Session.Observe. See
+// sim.Probe for the firing and no-mutation invariants.
+type Probe = sim.Probe
+
+// Recorder collects a probe's firings into a SamplePoint time series.
+// See sim.Recorder.
+type Recorder = sim.Recorder
+
 // PolicySpec selects an IFetch policy.
 type PolicySpec = sim.PolicySpec
 
@@ -72,8 +93,13 @@ func MFLUSHHistory(depth int) PolicySpec {
 	return sim.PolicySpec{Kind: sim.MFLUSH, History: depth}
 }
 
-// Run executes one simulation.
+// Run executes one simulation to completion (a thin wrapper over the
+// Session API; see sim.Run).
 func Run(opt Options) (*Result, error) { return sim.Run(opt) }
+
+// Open starts an incremental simulation session positioned at cycle
+// zero: the steppable, observable form of Run.
+func Open(opt Options) (*Session, error) { return sim.Open(opt) }
 
 // Speedup returns a's throughput gain over b as a fraction.
 func Speedup(a, b *Result) float64 { return sim.Speedup(a, b) }
