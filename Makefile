@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test shorttest racetest vet bench bench-throughput benchbaseline benchcmp docscheck fuzzsmoke
+.PHONY: build test shorttest racetest vet bench bench-throughput benchbaseline benchcmp docscheck fuzzsmoke crashtest
 
 # The hot-path benchmarks benchcmp tracks, and where their runs live.
 BENCH_PATTERN := BenchmarkSimulatorThroughput|BenchmarkSingleCoreSim
@@ -28,6 +28,16 @@ racetest:
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzReadSpec -fuzztime 10s ./internal/campaign
+	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/cluster
+
+# Crash matrix: build the real mflushd with fault injection compiled in
+# (-tags faultpoint), SIGKILL it at each WAL/lease faultpoint mid-
+# campaign, restart on the same state directory, and require the resumed
+# run to converge byte-identically. Also unit-tests the faultpoint
+# package itself, which is a no-op without the tag.
+crashtest:
+	$(GO) test -tags faultpoint ./internal/faultpoint
+	$(GO) test -tags faultpoint -count=1 ./internal/crashtest
 
 vet:
 	$(GO) vet ./...

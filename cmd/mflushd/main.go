@@ -8,13 +8,21 @@
 //
 //	mflushd [-addr :8080] [-store mflushd/results.jsonl] \
 //	        [-workers N] [-max-queue N] [-max-campaigns N] [-drain-timeout 60s] \
-//	        [-cluster] [-lease-ttl 15s]
+//	        [-cluster] [-lease-ttl 15s] [-state-dir DIR] [-wal-compact N]
 //
 // With -cluster the daemon also coordinates a worker fleet: mflushworker
 // processes register over /v1/workers, lease jobs, and post results;
 // uncached jobs route to the fleet whenever live workers exist and run
 // locally otherwise. Leases of dead workers are re-issued after
 // -lease-ttl, so a killed worker never loses work.
+//
+// With -state-dir the coordinator queue itself is durable: every
+// enqueue, lease and acknowledgement is write-ahead-logged (fsynced)
+// under the directory before it takes effect, and a restarted daemon
+// replays the log — resuming the interrupted campaign where it stopped,
+// with no job lost or double-counted. -wal-compact bounds the log's
+// tail between snapshot compactions. Without -state-dir the queue is
+// in-memory, exactly as before.
 //
 // SIGTERM (or SIGINT) drains gracefully: new submissions get 503,
 // in-flight simulations finish and persist, then the daemon exits.
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -59,7 +68,15 @@ func run() error {
 		"coordinate an mflushworker fleet: serve /v1/workers and route jobs to live workers")
 	leaseTTL := flag.Duration("lease-ttl", cluster.DefaultLeaseTTL,
 		"drop fleet workers silent for this long and re-issue their leased jobs")
+	stateDir := flag.String("state-dir", "",
+		"directory for the durable coordinator queue (WAL + snapshot); requires -cluster; empty: in-memory queue")
+	walCompact := flag.Int("wal-compact", cluster.DefaultCompactEvery,
+		"WAL tail records between snapshot compactions (with -state-dir)")
 	flag.Parse()
+
+	if *stateDir != "" && !*clusterMode {
+		return errors.New("-state-dir requires -cluster (only the coordinator queue has durable state)")
+	}
 
 	if dir := filepath.Dir(*storePath); dir != "." {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
@@ -79,23 +96,51 @@ func run() error {
 		MaxCampaigns:  *maxCampaigns,
 	}
 	if *clusterMode {
-		coord := cluster.NewCoordinator(cluster.Config{LeaseTTL: *leaseTTL})
+		coord, err := cluster.OpenCoordinator(cluster.Config{
+			LeaseTTL:     *leaseTTL,
+			StateDir:     *stateDir,
+			CompactEvery: *walCompact,
+			// The store vouches for persisted results, letting WAL
+			// compaction drop acknowledgements the store already holds.
+			Persisted: func(key string) bool {
+				_, ok := store.Get(key)
+				return ok
+			},
+		})
+		if err != nil {
+			return err
+		}
 		defer coord.Close()
 		cfg.Cluster = coord
+		if rec := coord.Recovered(); len(rec.Jobs) > 0 || len(rec.Orphans) > 0 {
+			log.Printf("mflushd: recovered queue from %s: %d jobs to resume (%d leases forfeited), %d acknowledged results to confirm",
+				*stateDir, len(rec.Jobs), len(rec.Forfeited), len(rec.Orphans))
+		}
 	}
 	srv := server.New(cfg)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// An explicit listener (rather than ListenAndServe) pins down the
+	// real address before the serving log line, so ":0" harnesses — the
+	// crash matrix — can parse where the daemon actually landed.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv}
 
 	mode := "single-process"
 	if *clusterMode {
 		mode = fmt.Sprintf("cluster coordinator, lease TTL %s", *leaseTTL)
+		if *stateDir != "" {
+			mode += ", durable queue in " + *stateDir
+		}
 	}
 	log.Printf("mflushd: serving on %s (store %s, %d cached results, %s)",
-		*addr, *storePath, store.Len(), mode)
+		ln.Addr(), *storePath, store.Len(), mode)
 
 	errCh := make(chan error, 1)
 	go func() {
-		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
 	}()

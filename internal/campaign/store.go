@@ -1,8 +1,8 @@
 package campaign
 
 import (
-	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
@@ -45,50 +45,30 @@ type Store struct {
 // one newline-terminated Write, so a torn write is exactly a fragment
 // with no trailing newline — which is truncated away so the next append
 // starts on a clean line boundary, costing at most the one job that was
-// being written. A newline-terminated line that fails to parse is NOT a
-// torn write: it means the file was edited or corrupted, and dropping
-// everything after it would delete completed work, so opening fails
-// instead.
+// being written (RecoverJSONL is that discipline, shared with the
+// cluster coordinator's write-ahead log). A newline-terminated line that
+// fails to parse is NOT a torn write: it means the file was edited or
+// corrupted, and dropping everything after it would delete completed
+// work, so opening fails instead.
 func OpenStore(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("campaign: open store: %w", err)
-	}
-	data, err := os.ReadFile(path)
-	if err != nil {
-		f.Close()
-		return nil, fmt.Errorf("campaign: read store: %w", err)
-	}
 	s := &Store{recs: make(map[string]Record)}
-	valid := 0 // byte length of the valid line-aligned prefix
-	for len(data) > valid {
-		nl := bytes.IndexByte(data[valid:], '\n')
-		if nl < 0 {
-			break // torn final write: drop the unterminated fragment
-		}
-		line := data[valid : valid+nl]
+	f, err := RecoverJSONL(path, func(line []byte) error {
 		var rec Record
 		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
-			f.Close()
-			return nil, fmt.Errorf("campaign: store %s: corrupt record at byte %d (not a torn tail); repair or remove the file",
-				path, valid)
+			return fmt.Errorf("not a store record")
 		}
 		s.recs[rec.Key] = rec
-		valid += nl + 1
-	}
-	if err := f.Truncate(int64(valid)); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("campaign: truncate torn store tail: %w", err)
-	}
-	f.Close()
-	// Reopen in append mode for writing: the kernel serialises O_APPEND
-	// writes at the file end, so even two processes resuming the same
-	// store concurrently (unsupported, but it happens) interleave whole
-	// lines — wasted duplicate work, never byte-level corruption.
-	s.f, err = os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("campaign: reopen store for append: %w", err)
+		var corrupt *CorruptJSONLError
+		if errors.As(err, &corrupt) {
+			return nil, fmt.Errorf("campaign: store %s: corrupt record at byte %d (not a torn tail); repair or remove the file",
+				path, corrupt.Offset)
+		}
+		return nil, fmt.Errorf("campaign: open store: %w", err)
 	}
+	s.f = f
 	return s, nil
 }
 

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/faultpoint"
 )
 
 // Coordinator failure modes callers dispatch on.
@@ -53,12 +54,32 @@ var (
 // say otherwise.
 const DefaultLeaseTTL = 15 * time.Second
 
+// DefaultCompactEvery is the WAL tail size (in records) that triggers
+// compaction when Config does not say otherwise.
+const DefaultCompactEvery = 1024
+
 // Config parameterises a Coordinator.
 type Config struct {
 	// LeaseTTL is the worker-liveness horizon: a worker silent for this
 	// long is dropped and its leased jobs re-queued (<= 0:
 	// DefaultLeaseTTL). Workers heartbeat at a fraction of it.
 	LeaseTTL time.Duration
+	// StateDir, when non-empty, makes the queue durable: OpenCoordinator
+	// write-ahead-logs every transition under this directory and replays
+	// the log at boot, so a daemon restart resumes mid-campaign.
+	// NewCoordinator ignores it (in-memory queue, today's behaviour).
+	StateDir string
+	// CompactEvery bounds the WAL tail: once this many records
+	// accumulate since the last snapshot, the next transition folds the
+	// live queue state into a fresh snapshot and truncates the tail
+	// (<= 0: DefaultCompactEvery).
+	CompactEvery int
+	// Persisted, when set, reports whether the completed record for a
+	// job key is already durable in the result store. Compaction drops
+	// acknowledged results from the WAL once Persisted confirms them;
+	// with Persisted nil they are retained across compactions, which is
+	// safe (replaying them is idempotent) but unbounded.
+	Persisted func(key string) bool
 }
 
 // Coordinator is the fleet's job queue: Dispatch parks campaign jobs
@@ -87,6 +108,24 @@ type Coordinator struct {
 	requeued uint64
 	wake     chan struct{} // closed+replaced when pending grows
 	done     chan struct{} // closed by Close; stops the reaper
+
+	// Durability state; all nil/zero for an in-memory coordinator.
+	wal          *wal
+	compactEvery int
+	persisted    func(key string) bool
+	// settled holds every durably acknowledged result until Persisted
+	// confirms the store has it (compaction prunes confirmed entries).
+	// It carries two guarantees: an ack survives a crash that lands
+	// between releasing the Dispatch waiter and the store append, and a
+	// recovered job completed before the daemon's recovery dispatcher
+	// re-attached still reaches the store — Dispatch serves settled
+	// results directly, which routes them in through the cache.
+	settled map[string]campaign.Record
+	// unresolved carries WAL jobs this build could not decode (version
+	// skew) through every compaction verbatim, so they are not lost to
+	// a binary that cannot run them.
+	unresolved []campaign.WireJob
+	recovery   Recovery
 }
 
 // workerState is the coordinator's view of one registered worker.
@@ -110,15 +149,24 @@ type task struct {
 	err  error
 }
 
-// NewCoordinator returns a running coordinator and starts its reaper.
+// NewCoordinator returns a running in-memory coordinator and starts its
+// reaper. Config.StateDir is ignored here — a durable queue comes from
+// OpenCoordinator.
 func NewCoordinator(cfg Config) *Coordinator {
+	c := newCoordinator(cfg)
+	go c.reaper()
+	return c
+}
+
+// newCoordinator builds the coordinator without starting the reaper.
+func newCoordinator(cfg Config) *Coordinator {
 	ttl := cfg.LeaseTTL
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
 	}
 	epoch := make([]byte, 4)
 	rand.Read(epoch)
-	c := &Coordinator{
+	return &Coordinator{
 		ttl:     ttl,
 		epoch:   hex.EncodeToString(epoch),
 		workers: make(map[string]*workerState),
@@ -126,9 +174,66 @@ func NewCoordinator(cfg Config) *Coordinator {
 		wake:    make(chan struct{}),
 		done:    make(chan struct{}),
 	}
-	go c.reaper()
-	return c
 }
+
+// OpenCoordinator returns a running coordinator whose queue is durable
+// under cfg.StateDir: every transition is write-ahead-logged (and
+// fsynced) before it takes effect, and opening an existing state
+// directory replays the log, re-queueing the dead incarnation's
+// unfinished jobs (leases forfeited — their worker IDs belong to a dead
+// epoch) and carrying its acknowledged-but-possibly-unpersisted results
+// forward. Recovered() reports what was restored. With an empty
+// StateDir this is exactly NewCoordinator.
+func OpenCoordinator(cfg Config) (*Coordinator, error) {
+	if cfg.StateDir == "" {
+		return NewCoordinator(cfg), nil
+	}
+	w, st, err := openWAL(cfg.StateDir)
+	if err != nil {
+		return nil, err
+	}
+	c := newCoordinator(cfg)
+	c.wal = w
+	c.compactEvery = cfg.CompactEvery
+	if c.compactEvery <= 0 {
+		c.compactEvery = DefaultCompactEvery
+	}
+	c.persisted = cfg.Persisted
+	c.settled = make(map[string]campaign.Record)
+	c.recovery = recoveryFromState(st)
+	for _, wire := range c.recovery.Jobs {
+		j, err := wire.Job()
+		if err != nil || j.Key() != wire.Key {
+			// A job this build cannot decode or re-key: keep it in the
+			// WAL for a future build, but it cannot be queued.
+			c.unresolved = append(c.unresolved, wire)
+			continue
+		}
+		t := &task{job: j, done: make(chan struct{})}
+		c.tasks[wire.Key] = t
+		c.pending = append(c.pending, t)
+	}
+	// Forfeited leases become plain pending jobs; count the churn.
+	c.requeued += uint64(len(c.recovery.Forfeited))
+	for _, rec := range c.recovery.Orphans {
+		c.settled[rec.Key] = rec
+	}
+	// Fold the recovered state into a fresh snapshot immediately, so
+	// boot replay work stays bounded no matter how often the daemon
+	// crash-loops.
+	if err := c.wal.compact(c.snapshotLocked()); err != nil {
+		c.wal.close()
+		return nil, err
+	}
+	go c.reaper()
+	return c, nil
+}
+
+// Recovered reports what a durable coordinator restored from its
+// write-ahead log at boot — zero-valued for a fresh state directory or
+// an in-memory coordinator. The returned value is shared; treat it as
+// read-only.
+func (c *Coordinator) Recovered() Recovery { return c.recovery }
 
 // LeaseTTL returns the worker-liveness horizon the coordinator enforces
 // — the TTL the register response advertises to workers.
@@ -137,13 +242,40 @@ func (c *Coordinator) LeaseTTL() time.Duration { return c.ttl }
 // Close shuts the queue down: every queued or leased task fails with
 // ErrClosed (releasing its Dispatch callers), the reaper stops, and all
 // later calls fail. The daemon closes the coordinator after draining,
-// so no campaign is waiting by then in the normal path.
+// so no campaign is waiting by then in the normal path. A durable
+// coordinator first compacts a final snapshot — still-queued jobs stay
+// in the WAL as live, so the next boot resumes them.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
 		return
 	}
+	if c.wal != nil {
+		// Best-effort: an unwritable final snapshot leaves the previous
+		// snapshot+tail, which replay to the same state.
+		c.wal.compact(c.snapshotLocked())
+	}
+	c.shutdownLocked()
+}
+
+// Crash abandons the coordinator the way a process death would: waiters
+// fail with ErrClosed, the reaper stops, and — unlike Close — nothing
+// is compacted or logged, so the WAL files are left exactly as the last
+// transition wrote them. In-process restart tests use it to exercise
+// the same recovery path the real crash matrix drives with SIGKILL.
+func (c *Coordinator) Crash() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.shutdownLocked()
+}
+
+// shutdownLocked is the shared tail of Close and Crash. The caller
+// holds c.mu.
+func (c *Coordinator) shutdownLocked() {
 	c.closed = true
 	for key, t := range c.tasks {
 		t.err = ErrClosed
@@ -155,6 +287,84 @@ func (c *Coordinator) Close() {
 		clear(w.leased)
 	}
 	close(c.done)
+	if c.wal != nil {
+		c.wal.close()
+	}
+}
+
+// snapshotLocked flattens the current queue into WAL records: live
+// tasks in queue order (pending first, then leased — sorted by key for
+// determinism — with their lease records), jobs this build could not
+// decode, and acknowledged results not yet confirmed persisted (the
+// Persisted check prunes confirmed ones here, which is what bounds the
+// WAL). The caller holds c.mu.
+func (c *Coordinator) snapshotLocked() []walRecord {
+	var recs []walRecord
+	seen := make(map[string]bool, len(c.tasks))
+	for _, t := range c.pending {
+		key := t.job.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		wire := t.job.Wire()
+		recs = append(recs, walRecord{Op: opEnqueue, Job: &wire})
+	}
+	var leasedKeys []string
+	for key := range c.tasks {
+		if !seen[key] {
+			leasedKeys = append(leasedKeys, key)
+		}
+	}
+	sort.Strings(leasedKeys)
+	for _, key := range leasedKeys {
+		t := c.tasks[key]
+		wire := t.job.Wire()
+		recs = append(recs, walRecord{Op: opEnqueue, Job: &wire})
+		if t.leasedBy != "" {
+			recs = append(recs, walRecord{Op: opLease, Key: key, Worker: t.leasedBy})
+		}
+	}
+	for i := range c.unresolved {
+		recs = append(recs, walRecord{Op: opEnqueue, Job: &c.unresolved[i]})
+	}
+	var settledKeys []string
+	for key := range c.settled {
+		if c.persisted != nil && c.persisted(key) {
+			delete(c.settled, key)
+			continue
+		}
+		settledKeys = append(settledKeys, key)
+	}
+	sort.Strings(settledKeys)
+	for _, key := range settledKeys {
+		rec := c.settled[key]
+		recs = append(recs, walRecord{Op: opAck, Rec: &rec})
+	}
+	return recs
+}
+
+// maybeCompactLocked compacts once the tail has grown past the
+// configured window. Failure is tolerated: the triggering transition is
+// already durable in the tail, and the next transition retries. The
+// caller holds c.mu.
+func (c *Coordinator) maybeCompactLocked() {
+	if c.wal == nil || c.wal.tailRecs < c.compactEvery {
+		return
+	}
+	c.wal.compact(c.snapshotLocked())
+}
+
+// logBestEffort appends transitions that only affect scheduling, not
+// correctness (requeues, withdrawals): if the append fails, replay
+// re-derives a safe state anyway — a missed requeue record merely
+// leaves a lease to forfeit at the next boot. The caller holds c.mu.
+func (c *Coordinator) logBestEffort(recs ...walRecord) {
+	if c.wal == nil || len(recs) == 0 {
+		return
+	}
+	c.wal.append(recs...)
+	c.maybeCompactLocked()
 }
 
 // reaper periodically drops workers that missed their lease TTL and
@@ -189,6 +399,7 @@ func (c *Coordinator) reapLocked() {
 		return
 	}
 	now := time.Now()
+	var requeues []walRecord
 	for id, w := range c.workers {
 		if now.Sub(w.lastSeen) <= c.ttl {
 			continue
@@ -198,16 +409,39 @@ func (c *Coordinator) reapLocked() {
 			c.requeued++
 			c.pending = append(c.pending, t)
 			delete(w.leased, key)
+			requeues = append(requeues, walRecord{Op: opRequeue, Key: key})
 		}
 		delete(c.workers, id)
 	}
+	c.logBestEffort(requeues...)
 	if len(c.workers) == 0 && len(c.tasks) > 0 {
+		// Fleet gone: fail every task a dispatcher is waiting on, so the
+		// caller falls back to local simulation. Recovered tasks with no
+		// waiter yet stay queued — failing them would discard work no
+		// one is around to re-run; the recovery dispatcher attaches to
+		// (or withdraws) them when it arrives.
+		var stranded bool
+		var dequeues []walRecord
 		for key, t := range c.tasks {
+			if t.waiters == 0 {
+				continue
+			}
 			t.err = ErrNoWorkers
 			close(t.done)
 			delete(c.tasks, key)
+			dequeues = append(dequeues, walRecord{Op: opDequeue, Key: key})
+			stranded = true
 		}
-		c.pending = c.pending[:0]
+		if stranded {
+			live := c.pending[:0]
+			for _, t := range c.pending {
+				if _, ok := c.tasks[t.job.Key()]; ok {
+					live = append(live, t)
+				}
+			}
+			c.pending = live
+			c.logBestEffort(dequeues...)
+		}
 		return
 	}
 	if len(c.pending) > 0 {
@@ -219,6 +453,20 @@ func (c *Coordinator) reapLocked() {
 func (c *Coordinator) wakeLocked() {
 	close(c.wake)
 	c.wake = make(chan struct{})
+}
+
+// withdrawLocked removes an unleased, unwaited task from the queue and
+// logs its departure. Nobody holds its done channel, so nothing is
+// closed. The caller holds c.mu.
+func (c *Coordinator) withdrawLocked(key string, t *task) {
+	delete(c.tasks, key)
+	for i, p := range c.pending {
+		if p == t {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			break
+		}
+	}
+	c.logBestEffort(walRecord{Op: opDequeue, Key: key})
 }
 
 // Dispatch queues job j for the fleet and blocks until a worker posts
@@ -235,16 +483,40 @@ func (c *Coordinator) Dispatch(ctx context.Context, j campaign.Job) (campaign.Re
 		c.mu.Unlock()
 		return campaign.Record{}, ErrClosed
 	}
+	if rec, ok := c.settled[key]; ok {
+		// Acknowledged durably (possibly by the previous incarnation)
+		// but never handed to a dispatcher: serve it, so the cache
+		// routes it into the result store.
+		c.mu.Unlock()
+		return rec, nil
+	}
 	c.reapLocked()
+	t := c.tasks[key]
 	if len(c.workers) == 0 {
+		if t != nil && t.waiters == 0 {
+			// A recovered task with no fleet to run it: withdraw it so
+			// the caller's local fallback becomes the one execution —
+			// leaving it queued could double-run the job when a worker
+			// arrives mid-fallback.
+			c.withdrawLocked(key, t)
+		}
 		c.mu.Unlock()
 		return campaign.Record{}, ErrNoWorkers
 	}
-	t := c.tasks[key]
 	if t == nil {
 		t = &task{job: j, done: make(chan struct{})}
+		if c.wal != nil {
+			wire := j.Wire()
+			if err := c.wal.append(walRecord{Op: opEnqueue, Job: &wire}); err != nil {
+				c.mu.Unlock()
+				return campaign.Record{}, err
+			}
+		}
 		c.tasks[key] = t
 		c.pending = append(c.pending, t)
+		// Compact only now that the state reflects the logged record —
+		// a snapshot taken between the two would drop it.
+		c.maybeCompactLocked()
 		c.wakeLocked()
 	}
 	t.waiters++
@@ -266,13 +538,7 @@ func (c *Coordinator) Dispatch(ctx context.Context, j campaign.Job) (campaign.Re
 	}
 	t.waiters--
 	if t.leasedBy == "" && t.waiters == 0 {
-		delete(c.tasks, key)
-		for i, p := range c.pending {
-			if p == t {
-				c.pending = append(c.pending[:i], c.pending[i+1:]...)
-				break
-			}
-		}
+		c.withdrawLocked(key, t)
 		c.mu.Unlock()
 		return campaign.Record{}, ctx.Err()
 	}
@@ -347,13 +613,16 @@ func (c *Coordinator) Deregister(workerID string) error {
 	if w == nil {
 		return ErrUnknownWorker
 	}
+	var requeues []walRecord
 	for key, t := range w.leased {
 		t.leasedBy = ""
 		c.requeued++
 		c.pending = append(c.pending, t)
 		delete(w.leased, key)
+		requeues = append(requeues, walRecord{Op: opRequeue, Key: key})
 	}
 	delete(c.workers, workerID)
+	c.logBestEffort(requeues...)
 	c.reapLocked() // strand check: this may have been the last worker
 	if len(c.pending) > 0 {
 		c.wakeLocked()
@@ -391,6 +660,20 @@ func (c *Coordinator) Lease(workerID string, max int, wait time.Duration) ([]cam
 		}
 		if len(c.pending) > 0 {
 			n := min(max, len(c.pending))
+			if c.wal != nil {
+				// The grants go durable before the worker sees the
+				// batch, so a crash right after the response still
+				// knows which worker holds these jobs.
+				grants := make([]walRecord, 0, n)
+				for _, t := range c.pending[:n] {
+					grants = append(grants, walRecord{Op: opLease, Key: t.job.Key(), Worker: workerID})
+				}
+				if err := c.wal.append(grants...); err != nil {
+					c.mu.Unlock()
+					return nil, err
+				}
+			}
+			faultpoint.Hit("cluster.lease.granted")
 			batch := make([]campaign.WireJob, 0, n)
 			for _, t := range c.pending[:n] {
 				t.leasedBy = workerID
@@ -398,6 +681,9 @@ func (c *Coordinator) Lease(workerID string, max int, wait time.Duration) ([]cam
 				batch = append(batch, t.job.Wire())
 			}
 			c.pending = append(c.pending[:0], c.pending[n:]...)
+			// Compact only after the grants are reflected in memory, so
+			// a snapshot here cannot drop them.
+			c.maybeCompactLocked()
 			c.mu.Unlock()
 			return batch, nil
 		}
@@ -451,11 +737,40 @@ func (c *Coordinator) Complete(workerID string, recs []campaign.Record, fails []
 		return 0, 0, ErrUnknownWorker
 	}
 	w.lastSeen = time.Now()
+	if c.wal != nil {
+		// Acks go durable — full records, fsynced — before the worker
+		// gets its 200 and before any waiter is released: a result a
+		// worker saw accepted can never be lost to a crash.
+		var acks []walRecord
+		for i := range recs {
+			if c.tasks[recs[i].Key] != nil {
+				acks = append(acks, walRecord{Op: opAck, Rec: &recs[i]})
+			}
+		}
+		for _, f := range fails {
+			if c.tasks[f.Key] != nil {
+				acks = append(acks, walRecord{Op: opFail, Key: f.Key, Error: f.Error})
+			}
+		}
+		if len(acks) > 0 {
+			if err := c.wal.append(acks...); err != nil {
+				return 0, 0, err
+			}
+		}
+		faultpoint.Hit("cluster.ack.logged")
+	}
 	settle := func(key string, rec campaign.Record, failure error) {
 		t := c.tasks[key]
 		if t == nil {
 			duplicates++
 			return
+		}
+		if failure == nil && c.settled != nil {
+			// Park the result until the store confirms it (compaction
+			// asks Persisted): if the process dies before the waiter's
+			// store append — or the task had no waiter at all — the next
+			// boot re-serves it from here instead of re-running the job.
+			c.settled[key] = rec
 		}
 		t.rec, t.err = rec, failure
 		close(t.done)
@@ -485,6 +800,7 @@ func (c *Coordinator) Complete(workerID string, recs []campaign.Record, fails []
 	for _, f := range fails {
 		settle(f.Key, campaign.Record{}, fmt.Errorf("cluster: worker %s: %s", workerID, f.Error))
 	}
+	c.maybeCompactLocked()
 	return accepted, duplicates, nil
 }
 

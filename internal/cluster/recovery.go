@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/campaign"
+)
+
+// walState is the queue state a WAL replay reconstructs: which jobs are
+// live (enqueued, unacknowledged) in what order, which of them the dead
+// incarnation had leased out, and which results were durably
+// acknowledged but possibly never confirmed in the result store. Every
+// apply is idempotent — the same record can arrive twice when a crash
+// between a compaction's snapshot rename and its tail truncation leaves
+// a stale tail behind the fresh snapshot.
+type walState struct {
+	order  []string                    // enqueue order of live job keys (may hold settled stragglers; liveOrder filters)
+	jobs   map[string]campaign.WireJob // live jobs by key
+	leases map[string]string           // live key -> worker ID holding its lease
+	acked  map[string]campaign.Record  // durably acknowledged results by key
+}
+
+func newWALState() *walState {
+	return &walState{
+		jobs:   make(map[string]campaign.WireJob),
+		leases: make(map[string]string),
+		acked:  make(map[string]campaign.Record),
+	}
+}
+
+// apply folds one log record into the state. A malformed record — an
+// enqueue with no job, an ack with no result, an op replay has never
+// heard of — returns an error that fails the whole replay: the WAL is
+// written by one process with no concurrent mutation, so a record that
+// does not parse cleanly means corruption, and guessing around it could
+// silently re-run or drop jobs.
+func (s *walState) apply(r walRecord) error {
+	switch r.Op {
+	case opEnqueue:
+		if r.Job == nil || r.Job.Key == "" {
+			return errors.New("enqueue record without a job")
+		}
+		key := r.Job.Key
+		if _, live := s.jobs[key]; live {
+			return nil // replayed from a stale tail
+		}
+		if _, done := s.acked[key]; done {
+			return nil // settled after the snapshot absorbed this enqueue
+		}
+		s.jobs[key] = *r.Job
+		s.order = append(s.order, key)
+	case opLease:
+		if r.Key == "" || r.Worker == "" {
+			return errors.New("lease record without key and worker")
+		}
+		if _, live := s.jobs[r.Key]; live {
+			s.leases[r.Key] = r.Worker
+		}
+	case opRequeue:
+		if r.Key == "" {
+			return errors.New("requeue record without a key")
+		}
+		delete(s.leases, r.Key)
+	case opAck:
+		if r.Rec == nil || r.Rec.Key == "" {
+			return errors.New("ack record without a result")
+		}
+		s.settle(r.Rec.Key)
+		s.acked[r.Rec.Key] = *r.Rec
+	case opFail, opDequeue:
+		if r.Key == "" {
+			return fmt.Errorf("%s record without a key", r.Op)
+		}
+		s.settle(r.Key)
+	default:
+		return fmt.Errorf("unknown op %q", r.Op)
+	}
+	return nil
+}
+
+// settle removes a job from the live set (its slot in order becomes a
+// straggler liveOrder skips).
+func (s *walState) settle(key string) {
+	delete(s.jobs, key)
+	delete(s.leases, key)
+}
+
+// liveOrder returns the keys of live jobs in their original enqueue
+// order.
+func (s *walState) liveOrder() []string {
+	keys := make([]string, 0, len(s.jobs))
+	seen := make(map[string]bool, len(s.jobs))
+	for _, key := range s.order {
+		if _, live := s.jobs[key]; live && !seen[key] {
+			seen[key] = true
+			keys = append(keys, key)
+		}
+	}
+	return keys
+}
+
+// Recovery describes what a durable coordinator (OpenCoordinator with a
+// StateDir) restored from its write-ahead log at boot. The daemon uses
+// it to resume an interrupted campaign: re-dispatch Jobs, and append
+// Orphans to the result store if they are missing there.
+type Recovery struct {
+	// Jobs are the enqueued-but-unacknowledged jobs, re-queued for
+	// dispatch in their original order.
+	Jobs []campaign.WireJob
+	// Forfeited maps recovered job keys to the worker IDs that held
+	// their leases when the previous incarnation died. Those IDs belong
+	// to dead registrations — a restarted daemon issues fresh epochs —
+	// so the leases are forfeited and the jobs are plain pending again.
+	Forfeited map[string]string
+	// Orphans are results the dead incarnation acknowledged durably (the
+	// worker saw HTTP 200) but may never have written to the result
+	// store. Replaying them into the store is idempotent: records are
+	// keyed by content hash and byte-identical across runs.
+	Orphans []campaign.Record
+}
+
+// recoveryFromState converts a replayed walState into the exported
+// Recovery view, with deterministic ordering.
+func recoveryFromState(st *walState) Recovery {
+	r := Recovery{Forfeited: make(map[string]string, len(st.leases))}
+	for _, key := range st.liveOrder() {
+		r.Jobs = append(r.Jobs, st.jobs[key])
+	}
+	for key, worker := range st.leases {
+		r.Forfeited[key] = worker
+	}
+	for _, rec := range st.acked {
+		r.Orphans = append(r.Orphans, rec)
+	}
+	sort.Slice(r.Orphans, func(i, j int) bool { return r.Orphans[i].Key < r.Orphans[j].Key })
+	return r
+}

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/campaign"
+	"repro/internal/faultpoint"
+)
+
+// The coordinator's write-ahead log. A durable coordinator
+// (OpenCoordinator with Config.StateDir) appends one JSONL record per
+// queue transition — job enqueued, lease granted, lease re-issued,
+// result acknowledged, job withdrawn — fsyncing before the transition
+// takes effect, so every state change a caller or worker has observed
+// survives a crash. The log lives in two files under the state
+// directory:
+//
+//	queue.snap   the last compaction: the whole queue state as a flat
+//	             record list, written to a temp file and renamed into
+//	             place, so it is always complete.
+//	queue.wal    the tail: every transition since that compaction,
+//	             appended with the same single-Write-per-line torn-tail
+//	             discipline as campaign.Store (campaign.RecoverJSONL
+//	             repairs a kill mid-append by dropping the one
+//	             unterminated fragment).
+//
+// Replay (boot) applies the snapshot, then the repaired tail, with
+// idempotent semantics — re-applying a transition to a state that
+// already reflects it is a no-op — because a crash between the
+// compaction's snapshot rename and its tail truncation legitimately
+// leaves a tail whose records the snapshot already absorbed. Compaction
+// runs under the coordinator lock every CompactEvery tail records, so
+// the log's size is bounded by the live queue plus one tail window.
+
+// WAL record operations (the "op" field).
+const (
+	opEnqueue = "enqueue" // a job entered the queue (carries the wire job)
+	opLease   = "lease"   // a pending job was leased to a worker
+	opRequeue = "requeue" // a lease was taken back and the job re-queued
+	opAck     = "ack"     // a result was accepted (carries the full record)
+	opFail    = "fail"    // a deterministic worker-side failure settled the job
+	opDequeue = "dequeue" // the job left the queue without a result (withdrawn)
+)
+
+// walRecord is one JSONL line of the log. Which fields are set depends
+// on Op: enqueue carries Job; lease and requeue carry Key (and Worker
+// for lease); ack carries Rec; fail and dequeue carry Key (and Error
+// for fail).
+type walRecord struct {
+	Op     string            `json:"op"`
+	Job    *campaign.WireJob `json:"job,omitempty"`
+	Key    string            `json:"key,omitempty"`
+	Worker string            `json:"worker,omitempty"`
+	Rec    *campaign.Record  `json:"rec,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// State-directory file names.
+const (
+	walFile  = "queue.wal"
+	snapFile = "queue.snap"
+)
+
+// wal is the open log: the append handle on the tail plus the record
+// count that triggers compaction. All methods run under the owning
+// coordinator's mutex.
+type wal struct {
+	dir      string
+	tail     *os.File
+	tailRecs int
+}
+
+// openWAL opens (creating if needed) the log under dir, replays
+// snapshot then repaired tail into a fresh walState, and returns both.
+func openWAL(dir string) (*wal, *walState, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("cluster: state dir: %w", err)
+	}
+	st := newWALState()
+
+	// The snapshot is written whole and renamed into place, so unlike
+	// the tail it can never hold a legal torn write: any malformed or
+	// unterminated content is real corruption and refuses to load.
+	snapPath := filepath.Join(dir, snapFile)
+	if data, err := os.ReadFile(snapPath); err == nil {
+		offset := 0
+		for len(data) > offset {
+			nl := bytes.IndexByte(data[offset:], '\n')
+			if nl < 0 {
+				return nil, nil, fmt.Errorf("cluster: wal snapshot %s: unterminated record at byte %d; the snapshot is written atomically, so this is corruption — repair or remove the state directory", snapPath, offset)
+			}
+			if err := applyWALLine(st, data[offset:offset+nl]); err != nil {
+				return nil, nil, fmt.Errorf("cluster: wal snapshot %s: corrupt record at byte %d: %w; repair or remove the state directory", snapPath, offset, err)
+			}
+			offset += nl + 1
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("cluster: read wal snapshot: %w", err)
+	}
+
+	tail, err := campaign.RecoverJSONL(filepath.Join(dir, walFile), func(line []byte) error {
+		return applyWALLine(st, line)
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: wal: %w", err)
+	}
+	syncDir(dir)
+	return &wal{dir: dir, tail: tail}, st, nil
+}
+
+// applyWALLine decodes one log line and applies it to st. Any error
+// marks the line corrupt — replay rejects rather than guesses.
+func applyWALLine(st *walState, line []byte) error {
+	var rec walRecord
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return err
+	}
+	return st.apply(rec)
+}
+
+// append marshals recs into one buffer and lands them with a single
+// Write and a single fsync, so a kill tears at most one record and a
+// batch (a multi-job lease, a worker's result post) costs one sync. The
+// transition must not take effect in memory until append returns nil.
+func (w *wal) append(recs ...walRecord) error {
+	var buf bytes.Buffer
+	for _, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("cluster: wal marshal: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	if err := faultpoint.Check("wal.append.err"); err != nil {
+		return err
+	}
+	faultpoint.Hit("wal.append.before")
+	if faultpoint.Active("wal.append.torn") {
+		// Land half the batch mid-record, then die: exactly the torn
+		// tail a power loss mid-append leaves for recovery to repair.
+		w.tail.Write(buf.Bytes()[:buf.Len()/2])
+		w.tail.Sync()
+		faultpoint.Hit("wal.append.torn")
+	}
+	if _, err := w.tail.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("cluster: wal append: %w", err)
+	}
+	faultpoint.Hit("wal.sync.before")
+	if err := w.tail.Sync(); err != nil {
+		return fmt.Errorf("cluster: wal sync: %w", err)
+	}
+	w.tailRecs += len(recs)
+	return nil
+}
+
+// compact folds the queue state into a fresh snapshot and resets the
+// tail: snapshot records go to a temp file (fsynced), the temp file
+// renames over queue.snap (atomic; the directory is fsynced), then the
+// tail truncates. A crash at any point leaves a loadable log — before
+// the rename the old snapshot+tail still replay; between rename and
+// truncation the stale tail re-applies records the new snapshot already
+// absorbed, which replay's idempotence makes harmless.
+func (w *wal) compact(snapshot []walRecord) error {
+	faultpoint.Hit("wal.compact.before")
+	if err := faultpoint.Check("wal.compact.err"); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	for _, r := range snapshot {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return fmt.Errorf("cluster: wal compact marshal: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	tmp := filepath.Join(w.dir, snapFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("cluster: wal compact: %w", err)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: wal compact write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("cluster: wal compact sync: %w", err)
+	}
+	f.Close()
+	faultpoint.Hit("wal.compact.tmp")
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapFile)); err != nil {
+		return fmt.Errorf("cluster: wal compact rename: %w", err)
+	}
+	syncDir(w.dir)
+	faultpoint.Hit("wal.compact.renamed")
+	if err := w.tail.Truncate(0); err != nil {
+		return fmt.Errorf("cluster: wal truncate tail: %w", err)
+	}
+	w.tail.Sync()
+	w.tailRecs = 0
+	return nil
+}
+
+// close releases the tail handle. Compaction-on-shutdown is the
+// coordinator's business; close itself writes nothing.
+func (w *wal) close() {
+	w.tail.Close()
+}
+
+// syncDir fsyncs a directory so a just-created or just-renamed file's
+// directory entry is durable. Best-effort: not every filesystem
+// supports it, and the data writes are already synced.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}

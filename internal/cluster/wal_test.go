@@ -1,0 +1,453 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// dispatchAsync parks a Dispatch call in a goroutine and returns the
+// channel its outcome lands on. Callers that only need the job queued
+// (not its result) can ignore the channel — Crash/Close releases the
+// goroutine with ErrClosed.
+func dispatchAsync(c *Coordinator, j campaign.Job) <-chan error {
+	errs := make(chan error, 1)
+	go func() {
+		_, err := c.Dispatch(context.Background(), j)
+		errs <- err
+	}()
+	return errs
+}
+
+// waitPending polls until n jobs are pending, so tests can dispatch in
+// a deterministic enqueue order.
+func waitPending(t *testing.T, c *Coordinator, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Pending() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending = %d, want %d", c.Pending(), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// writeWALFile writes records as JSONL to path, for tests that
+// hand-craft log states the coordinator's own writer would not produce.
+func writeWALFile(t *testing.T, path string, recs ...walRecord) {
+	t.Helper()
+	var buf []byte
+	for _, r := range recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+	}
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALRestartResumesQueue is the golden-state test: a coordinator
+// killed mid-campaign — some jobs pending, one leased, one acked —
+// must reopen to exactly the pre-crash state minus the unacknowledged
+// in-flight transitions: the ack survives as an orphan, the lease is
+// forfeited back to pending, and the queue order is preserved.
+func TestWALRestartResumesQueue(t *testing.T) {
+	cfg := Config{LeaseTTL: time.Minute, StateDir: t.TempDir()}
+	c1, err := OpenCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c1.Register("w1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(t, 1, 2) // 2 policies x 2 seeds = 4 jobs
+	for i, j := range jobs {
+		dispatchAsync(c1, j)
+		waitPending(t, c1, i+1)
+	}
+	batch, err := c1.Lease(w.ID, 2, 0)
+	if err != nil || len(batch) != 2 {
+		t.Fatalf("lease: %v (%d jobs)", err, len(batch))
+	}
+	rec0 := testRecord(t, jobs[0])
+	if acc, _, err := c1.Complete(w.ID, []campaign.Record{rec0}, nil); err != nil || acc != 1 {
+		t.Fatalf("complete: %v (accepted %d)", err, acc)
+	}
+	c1.Crash()
+
+	c2, err := OpenCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rec := c2.Recovered()
+
+	wantKeys := []string{jobs[1].Key(), jobs[2].Key(), jobs[3].Key()}
+	var gotKeys []string
+	for _, wj := range rec.Jobs {
+		gotKeys = append(gotKeys, wj.Key)
+	}
+	if !reflect.DeepEqual(gotKeys, wantKeys) {
+		t.Errorf("recovered jobs = %v, want %v", gotKeys, wantKeys)
+	}
+	if want := map[string]string{jobs[1].Key(): w.ID}; !reflect.DeepEqual(rec.Forfeited, want) {
+		t.Errorf("forfeited = %v, want %v", rec.Forfeited, want)
+	}
+	if len(rec.Orphans) != 1 || !reflect.DeepEqual(rec.Orphans[0], rec0) {
+		t.Errorf("orphans = %+v, want exactly the acked record", rec.Orphans)
+	}
+	if got := c2.Requeues(); got != 1 {
+		t.Errorf("requeues = %d, want 1 (the forfeited lease)", got)
+	}
+	if got := c2.Pending(); got != 3 {
+		t.Errorf("pending = %d, want 3", got)
+	}
+
+	// The resumed queue must actually drain: a fresh worker leases the
+	// three recovered jobs, completes them, and Dispatch then serves
+	// every result — including the pre-crash orphan — from the durable
+	// settled set.
+	w2, err := c2.Register("w2", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch2, err := c2.Lease(w2.ID, 8, 0)
+	if err != nil || len(batch2) != 3 {
+		t.Fatalf("lease after restart: %v (%d jobs)", err, len(batch2))
+	}
+	var recs []campaign.Record
+	for _, wj := range batch2 {
+		j, err := wj.Job()
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, testRecord(t, j))
+	}
+	if acc, _, err := c2.Complete(w2.ID, recs, nil); err != nil || acc != 3 {
+		t.Fatalf("complete after restart: %v (accepted %d)", err, acc)
+	}
+	for _, j := range jobs {
+		got, err := c2.Dispatch(context.Background(), j)
+		if err != nil {
+			t.Fatalf("dispatch settled %s: %v", j.Key(), err)
+		}
+		if got.Key != j.Key() {
+			t.Fatalf("dispatch settled %s returned record for %s", j.Key(), got.Key)
+		}
+	}
+}
+
+// TestWALTornTailRepaired: a fragment with no trailing newline — the
+// legal signature of a kill mid-append — is dropped on replay, keeping
+// everything before it.
+func TestWALTornTailRepaired(t *testing.T) {
+	cfg := Config{LeaseTTL: time.Minute, StateDir: t.TempDir()}
+	c1, err := OpenCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Register("w1", 1); err != nil {
+		t.Fatal(err)
+	}
+	j := testJobs(t, 1)[0]
+	dispatchAsync(c1, j)
+	waitPending(t, c1, 1)
+	c1.Crash()
+
+	walPath := filepath.Join(cfg.StateDir, walFile)
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"enq`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	c2, err := OpenCoordinator(cfg)
+	if err != nil {
+		t.Fatalf("torn tail not repaired: %v", err)
+	}
+	defer c2.Close()
+	rec := c2.Recovered()
+	if len(rec.Jobs) != 1 || rec.Jobs[0].Key != j.Key() {
+		t.Errorf("recovered jobs = %+v, want the one enqueued job", rec.Jobs)
+	}
+}
+
+// TestWALStaleTailIdempotent reopens the state a crash between a
+// compaction's snapshot rename and tail truncation leaves behind: the
+// tail's records predate the snapshot that already absorbed them.
+// Replay must converge to the snapshot's state, not double anything.
+func TestWALStaleTailIdempotent(t *testing.T) {
+	jobs := testJobs(t, 1)
+	wireA, wireB := jobs[0].Wire(), jobs[1].Wire()
+	recB := testRecord(t, jobs[1])
+	dir := t.TempDir()
+	// Post-compaction snapshot: A live, B acked.
+	writeWALFile(t, filepath.Join(dir, snapFile),
+		walRecord{Op: opEnqueue, Job: &wireA},
+		walRecord{Op: opAck, Rec: &recB},
+	)
+	// Stale pre-compaction tail: both enqueues, B's lease and ack.
+	writeWALFile(t, filepath.Join(dir, walFile),
+		walRecord{Op: opEnqueue, Job: &wireA},
+		walRecord{Op: opEnqueue, Job: &wireB},
+		walRecord{Op: opLease, Key: wireB.Key, Worker: "w000001-dead"},
+		walRecord{Op: opAck, Rec: &recB},
+	)
+	c, err := OpenCoordinator(Config{LeaseTTL: time.Minute, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rec := c.Recovered()
+	if len(rec.Jobs) != 1 || rec.Jobs[0].Key != wireA.Key {
+		t.Errorf("recovered jobs = %+v, want only job A once", rec.Jobs)
+	}
+	if len(rec.Forfeited) != 0 {
+		t.Errorf("forfeited = %v, want none (B's lease settled)", rec.Forfeited)
+	}
+	if len(rec.Orphans) != 1 || !reflect.DeepEqual(rec.Orphans[0], recB) {
+		t.Errorf("orphans = %+v, want exactly B's record once", rec.Orphans)
+	}
+}
+
+// TestWALSnapshotCorruptionRefused: the snapshot is written atomically,
+// so malformed content there is real corruption — recovery must reject
+// it with a precise error, never guess.
+func TestWALSnapshotCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, snapFile), []byte("not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenCoordinator(Config{StateDir: dir})
+	if err == nil {
+		t.Fatal("corrupt snapshot loaded")
+	}
+	for _, want := range []string{"corrupt record at byte 0", "repair or remove"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, snapFile), []byte(`{"op":"enq`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCoordinator(Config{StateDir: dir2}); err == nil || !strings.Contains(err.Error(), "unterminated record") {
+		t.Errorf("torn snapshot: err = %v, want unterminated-record corruption", err)
+	}
+}
+
+// TestWALCorruptTailRefused: a newline-terminated tail line that does
+// not parse is not a torn write — it means the file was edited or the
+// disk corrupted it, and recovery must refuse rather than drop state.
+func TestWALCorruptTailRefused(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, walFile), []byte("garbage line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := OpenCoordinator(Config{StateDir: dir})
+	if err == nil || !strings.Contains(err.Error(), "corrupt record at byte 0") {
+		t.Errorf("corrupt tail: err = %v, want corrupt-record rejection", err)
+	}
+}
+
+// TestWALCompactionPrunesPersisted: with the store vouching for every
+// key, compaction should shrink the WAL to nothing — a restart then
+// recovers a clean slate instead of re-serving history.
+func TestWALCompactionPrunesPersisted(t *testing.T) {
+	cfg := Config{
+		LeaseTTL:     time.Minute,
+		StateDir:     t.TempDir(),
+		CompactEvery: 1, // compact on every transition
+		Persisted:    func(string) bool { return true },
+	}
+	c1, err := OpenCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c1.Register("w1", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(t, 1)
+	results := make([]<-chan error, len(jobs))
+	for i, j := range jobs {
+		results[i] = dispatchAsync(c1, j)
+		waitPending(t, c1, i+1)
+	}
+	batch, err := c1.Lease(w.ID, 4, 0)
+	if err != nil || len(batch) != 2 {
+		t.Fatalf("lease: %v (%d jobs)", err, len(batch))
+	}
+	recs := []campaign.Record{testRecord(t, jobs[0]), testRecord(t, jobs[1])}
+	if _, _, err := c1.Complete(w.ID, recs, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range results {
+		if err := <-ch; err != nil {
+			t.Fatalf("dispatch: %v", err)
+		}
+	}
+	c1.Crash()
+
+	c2, err := OpenCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rec := c2.Recovered()
+	if len(rec.Jobs) != 0 || len(rec.Forfeited) != 0 || len(rec.Orphans) != 0 {
+		t.Errorf("recovered %+v, want a clean slate (everything persisted)", rec)
+	}
+}
+
+// TestWALCloseResumesQueue: Close (the graceful path) compacts live
+// jobs into the snapshot, so even a drain that could not finish the
+// campaign leaves it resumable.
+func TestWALCloseResumesQueue(t *testing.T) {
+	cfg := Config{LeaseTTL: time.Minute, StateDir: t.TempDir()}
+	c1, err := OpenCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Register("w1", 1); err != nil {
+		t.Fatal(err)
+	}
+	jobs := testJobs(t, 1)
+	for i, j := range jobs {
+		dispatchAsync(c1, j)
+		waitPending(t, c1, i+1)
+	}
+	c1.Close()
+
+	c2, err := OpenCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got := len(c2.Recovered().Jobs); got != len(jobs) {
+		t.Errorf("recovered %d jobs after Close, want %d", got, len(jobs))
+	}
+}
+
+// TestOpenCoordinatorWithoutStateDir: an empty StateDir must behave
+// exactly like NewCoordinator — no files, no recovery, Crash safe.
+func TestOpenCoordinatorWithoutStateDir(t *testing.T) {
+	c, err := OpenCoordinator(Config{LeaseTTL: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := c.Recovered()
+	if len(rec.Jobs) != 0 || len(rec.Forfeited) != 0 || len(rec.Orphans) != 0 {
+		t.Errorf("in-memory coordinator recovered %+v, want nothing", rec)
+	}
+	c.Crash()
+	if _, err := c.Dispatch(context.Background(), testJobs(t, 1)[0]); err != ErrClosed {
+		t.Errorf("dispatch after crash: %v, want ErrClosed", err)
+	}
+}
+
+// TestWALConcurrentAckCompaction hammers the hottest durability race:
+// with CompactEvery=1 every logged record triggers a snapshot rewrite,
+// so leases, acknowledgements and compactions from several workers
+// interleave as tightly as the coordinator mutex allows. Run under
+// -race this is the proof that compaction never races an ack — and the
+// final reopen proves no interleaving ever snapshot away a record.
+func TestWALConcurrentAckCompaction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCoordinator(Config{LeaseTTL: time.Minute, StateDir: dir, CompactEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobs := testJobs(t, 1, 2, 3, 4, 5, 6) // 12 jobs
+	recs := make(map[string]campaign.Record, len(jobs))
+	for _, j := range jobs {
+		recs[j.Key()] = testRecord(t, j)
+	}
+	// Register the fleet first: with no live workers Dispatch refuses to
+	// queue (local fallback), and this test wants everything on the wire.
+	workers := make([]string, 3)
+	for i := range workers {
+		w, err := c.Register("racer", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w.ID
+	}
+	done := make([]<-chan error, 0, len(jobs))
+	for _, j := range jobs {
+		done = append(done, dispatchAsync(c, j))
+	}
+
+	// Three workers race lease/complete until the queue is dry.
+	stop := make(chan struct{})
+	for _, id := range workers {
+		go func(id string) {
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				batch, err := c.Lease(id, 2, 10*time.Millisecond)
+				if err != nil {
+					return // closed
+				}
+				for _, wire := range batch {
+					if _, _, err := c.Complete(id, []campaign.Record{recs[wire.Key]}, nil); err != nil {
+						return
+					}
+				}
+			}
+		}(id)
+	}
+
+	for i, ch := range done {
+		select {
+		case err := <-ch:
+			if err != nil {
+				t.Fatalf("dispatch %d: %v", i, err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("dispatch %d never completed", i)
+		}
+	}
+	close(stop)
+	c.Close()
+
+	// Every ack must have survived the compaction storm: the next boot
+	// sees all twelve results settled and nothing left to run.
+	c2, err := OpenCoordinator(Config{LeaseTTL: time.Minute, StateDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	rec := c2.Recovered()
+	if len(rec.Jobs) != 0 {
+		t.Errorf("reopen found %d live jobs, want 0", len(rec.Jobs))
+	}
+	if got := len(rec.Orphans); got != len(jobs) {
+		t.Errorf("reopen found %d acknowledged results, want %d", got, len(jobs))
+	}
+	for _, orphan := range rec.Orphans {
+		if want, ok := recs[orphan.Key]; !ok || !reflect.DeepEqual(orphan, want) {
+			t.Errorf("settled record %s differs after the compaction storm", orphan.Key)
+		}
+	}
+}

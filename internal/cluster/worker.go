@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand/v2"
 	"net/http"
 	"time"
 
@@ -45,9 +46,34 @@ type outcome struct {
 	fail *JobFailure
 }
 
+// retryDelay paces the pull loop's retries against an unreachable or
+// unconverged coordinator: capped exponential backoff (250ms doubling
+// to 10s) with jitter on the upper half of each step, so a fleet
+// restarted together does not hammer a recovering daemon in lockstep.
+// reset after any success, so an isolated hiccup stays cheap.
+type retryDelay struct {
+	d time.Duration
+}
+
+// next returns the delay to sleep before the following attempt.
+func (r *retryDelay) next() time.Duration {
+	if r.d == 0 {
+		r.d = 250 * time.Millisecond
+	} else if r.d *= 2; r.d > 10*time.Second {
+		r.d = 10 * time.Second
+	}
+	half := r.d / 2
+	return half + rand.N(half+1)
+}
+
+// reset returns the backoff to its initial step.
+func (r *retryDelay) reset() { r.d = 0 }
+
 // Run executes the pull loop until ctx is cancelled, then drains and
-// deregisters. It returns nil after a clean drain and an error only
-// when the initial registration cannot be established.
+// deregisters. Registration retries with capped jittered backoff for as
+// long as ctx lives, so starting the worker before the daemon is
+// reachable is fine; the only error Run returns is a cancellation that
+// arrives before any registration ever succeeded.
 func (w *Worker) Run(ctx context.Context) error {
 	capacity := w.Capacity
 	if capacity <= 0 {
@@ -66,10 +92,22 @@ func (w *Worker) Run(ctx context.Context) error {
 		leaseWait = 2 * time.Second
 	}
 
+	// Register with backoff: a worker started before its daemon is up
+	// (or while it is replaying a WAL after a crash) keeps knocking and
+	// joins the fleet on its own once the daemon converges. Only a
+	// cancellation before any registration succeeds returns an error.
+	var retry retryDelay
 	id, ttl, err := w.register(ctx, name, capacity)
-	if err != nil {
-		return fmt.Errorf("cluster: worker register: %w", err)
+	for err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("cluster: worker register: %w", err)
+		}
+		d := retry.next()
+		w.logf("register: %v (retrying in %s)", err, d.Round(time.Millisecond))
+		w.sleep(ctx, d)
+		id, ttl, err = w.register(ctx, name, capacity)
 	}
+	retry.reset()
 	w.logf("registered as %s (capacity %d, lease TTL %s)", id, capacity, ttl)
 
 	heartbeat := time.NewTicker(ttl / 3)
@@ -178,17 +216,21 @@ func (w *Worker) Run(ctx context.Context) error {
 			jobs, err := w.lease(ctx, id, free, wait)
 			if isUnknownWorker(err) {
 				if !reregister(ctx) {
-					w.sleep(ctx, time.Second)
+					w.sleep(ctx, retry.next())
+				} else {
+					retry.reset()
 				}
 				continue
 			}
 			if err != nil {
 				if ctx.Err() == nil {
-					w.logf("lease: %v", err)
-					w.sleep(ctx, time.Second)
+					d := retry.next()
+					w.logf("lease: %v (retrying in %s)", err, d.Round(time.Millisecond))
+					w.sleep(ctx, d)
 				}
 				continue
 			}
+			retry.reset()
 			for _, wire := range jobs {
 				w.logf("leased %s", wire.Key)
 				start(wire)

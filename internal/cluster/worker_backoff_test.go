@@ -1,0 +1,29 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRetryDelayBackoffJitterAndReset(t *testing.T) {
+	var r retryDelay
+	prev := time.Duration(0)
+	for i := 0; i < 12; i++ {
+		d := r.next()
+		base := r.d
+		if d < base/2 || d > base {
+			t.Fatalf("step %d: delay %s outside jitter window [%s, %s]", i, d, base/2, base)
+		}
+		if base < prev {
+			t.Fatalf("step %d: backoff shrank from %s to %s", i, prev, base)
+		}
+		prev = base
+	}
+	if r.d != 10*time.Second {
+		t.Fatalf("backoff cap = %s, want 10s", r.d)
+	}
+	r.reset()
+	if d := r.next(); d > 250*time.Millisecond {
+		t.Fatalf("first delay after reset = %s, want <= 250ms", d)
+	}
+}

@@ -1,0 +1,77 @@
+//go:build faultpoint
+
+package faultpoint
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests compile only with the faultpoint tag (make crashtest runs
+// them); the ordinary build's hooks are constant no-ops with nothing to
+// test.
+
+func TestErrorFiresOnNthHit(t *testing.T) {
+	Reset()
+	if err := Set("p", "error@3:boom"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		err := Check("p")
+		if (i == 3) != (err != nil) {
+			t.Fatalf("hit %d: err = %v", i, err)
+		}
+	}
+}
+
+func TestActivePeeksWithoutConsuming(t *testing.T) {
+	Reset()
+	if err := Set("p", "error@2:boom"); err != nil {
+		t.Fatal(err)
+	}
+	if Active("p") {
+		t.Fatal("point active before its armed hit")
+	}
+	if err := Check("p"); err != nil {
+		t.Fatalf("first hit fired: %v", err)
+	}
+	if !Active("p") {
+		t.Fatal("point not active on its armed hit")
+	}
+	if err := Check("p"); err == nil {
+		t.Fatal("second hit did not fire")
+	}
+}
+
+func TestDelayActionSleeps(t *testing.T) {
+	Reset()
+	if err := Set("p", "delay:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	Hit("p")
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay hit returned after %s", d)
+	}
+}
+
+func TestDisarmAndBadSpecs(t *testing.T) {
+	Reset()
+	if err := Set("p", "error:boom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Set("p", ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check("p"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	for _, bad := range []string{"explode", "crash@0", "crash@x", "delay:fast"} {
+		if err := Set("q", bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	if !Enabled() {
+		t.Fatal("Enabled() = false under the faultpoint tag")
+	}
+}

@@ -1,0 +1,41 @@
+//go:build !faultpoint
+
+// Package faultpoint injects crashes, delays and errors at named points
+// in the code under test. In ordinary builds (this file) every hook is
+// a constant no-op the compiler inlines away, so threading a faultpoint
+// through a production path — the cluster WAL's append/fsync/compact,
+// the lease and ack paths — costs nothing. Building with `-tags
+// faultpoint` swaps in the real registry: points are armed either
+// programmatically (Set, from in-process tests) or through the
+// MFLUSH_FAULTPOINTS environment variable (for real binaries, the crash
+// matrix in internal/crashtest), and a hit can SIGKILL the process
+// mid-operation, sleep, or surface an injected error.
+//
+// The arming syntax, shared by Set and MFLUSH_FAULTPOINTS (which holds
+// a semicolon-separated list of name=action pairs):
+//
+//	crash        SIGKILL the process at the point
+//	crash@N      SIGKILL on the Nth hit (1-based), so earlier hits pass
+//	delay:DUR    sleep DUR (time.ParseDuration) at the point
+//	error:MSG    make Check at the point return an error with MSG
+//	error@N:MSG  as error:MSG, but only on the Nth hit
+package faultpoint
+
+// Active reports whether the named point would fire on its next hit.
+// Production code uses it to guard extra work a firing point needs
+// prepared (e.g. tearing a write in half before crashing); in ordinary
+// builds it is constant false, so the guarded branch is eliminated.
+func Active(string) bool { return false }
+
+// Hit marks the named point. In ordinary builds it does nothing; with
+// the faultpoint tag it crashes or delays when the point is armed.
+func Hit(string) {}
+
+// Check marks the named point and returns its injected error, if any.
+// Ordinary builds always return nil.
+func Check(string) error { return nil }
+
+// Enabled reports whether fault injection is compiled in at all — false
+// here; the crash matrix uses it to refuse running against a binary
+// that cannot crash.
+func Enabled() bool { return false }

@@ -1,0 +1,178 @@
+//go:build faultpoint
+
+package faultpoint
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// action is one armed faultpoint: what to do and on which hit.
+type action struct {
+	kind  string // "crash", "delay", "error"
+	nth   int    // fire on this hit (1-based); 0 means every hit
+	delay time.Duration
+	msg   string
+}
+
+var (
+	mu     sync.Mutex
+	armed  map[string]action
+	counts map[string]int
+)
+
+// init arms every point listed in MFLUSH_FAULTPOINTS, so a real binary
+// built with this tag is driven purely by its environment.
+func init() {
+	armed = make(map[string]action)
+	counts = make(map[string]int)
+	env := os.Getenv("MFLUSH_FAULTPOINTS")
+	if env == "" {
+		return
+	}
+	for _, pair := range strings.Split(env, ";") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(pair, "=")
+		if !ok {
+			panic(fmt.Sprintf("faultpoint: MFLUSH_FAULTPOINTS entry %q is not name=action", pair))
+		}
+		if err := Set(name, spec); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Set arms the named point with an action spec (see the package comment
+// for the syntax). An empty spec disarms the point.
+func Set(name, spec string) error {
+	mu.Lock()
+	defer mu.Unlock()
+	if spec == "" {
+		delete(armed, name)
+		delete(counts, name)
+		return nil
+	}
+	a, err := parse(spec)
+	if err != nil {
+		return fmt.Errorf("faultpoint: %s: %w", name, err)
+	}
+	armed[name] = a
+	counts[name] = 0
+	return nil
+}
+
+// Reset disarms every point and zeroes every hit counter.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed = make(map[string]action)
+	counts = make(map[string]int)
+}
+
+// parse decodes one action spec.
+func parse(spec string) (action, error) {
+	kind, rest, _ := strings.Cut(spec, ":")
+	var a action
+	if base, nth, ok := strings.Cut(kind, "@"); ok {
+		n, err := strconv.Atoi(nth)
+		if err != nil || n < 1 {
+			return action{}, fmt.Errorf("bad hit count %q", nth)
+		}
+		kind, a.nth = base, n
+	}
+	a.kind = kind
+	switch kind {
+	case "crash":
+	case "delay":
+		d, err := time.ParseDuration(rest)
+		if err != nil {
+			return action{}, fmt.Errorf("bad delay %q: %w", rest, err)
+		}
+		a.delay = d
+	case "error":
+		if rest == "" {
+			rest = "injected fault"
+		}
+		a.msg = rest
+	default:
+		return action{}, fmt.Errorf("unknown action %q", kind)
+	}
+	return a, nil
+}
+
+// fire consumes one hit of the named point and returns the action to
+// perform now, if the point is armed for this hit.
+func fire(name string) (action, bool) {
+	mu.Lock()
+	defer mu.Unlock()
+	a, ok := armed[name]
+	if !ok {
+		return action{}, false
+	}
+	counts[name]++
+	if a.nth != 0 && counts[name] != a.nth {
+		return action{}, false
+	}
+	return a, true
+}
+
+// Active reports whether the named point would fire on its next hit,
+// without consuming a hit — the guard production code uses to prepare a
+// firing point's extra work (like tearing a write) before calling Hit.
+func Active(name string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	a, ok := armed[name]
+	if !ok {
+		return false
+	}
+	return a.nth == 0 || counts[name]+1 == a.nth
+}
+
+// Hit marks the named point, crashing or delaying if it is armed for
+// this hit. A crash is a SIGKILL of the whole process — no deferred
+// functions, no flushes — exactly the failure the WAL must survive.
+func Hit(name string) {
+	a, ok := fire(name)
+	if !ok {
+		return
+	}
+	switch a.kind {
+	case "crash":
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {} // SIGKILL is not synchronous; never execute past the point
+	case "delay":
+		time.Sleep(a.delay)
+	}
+}
+
+// Check marks the named point like Hit and additionally returns the
+// injected error when the point is armed with an error action.
+func Check(name string) error {
+	a, ok := fire(name)
+	if !ok {
+		return nil
+	}
+	switch a.kind {
+	case "crash":
+		syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		select {}
+	case "delay":
+		time.Sleep(a.delay)
+		return nil
+	case "error":
+		return fmt.Errorf("faultpoint %s: %s", name, a.msg)
+	}
+	return nil
+}
+
+// Enabled reports that fault injection is compiled in.
+func Enabled() bool { return true }

@@ -23,7 +23,9 @@ package server
 import (
 	"context"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -87,6 +89,12 @@ type Server struct {
 	nextID    int
 	campaigns map[string]*run
 	order     []string // campaign IDs in admission order
+	// drainTimes is a ring of recent job-completion times;
+	// retryAfterLocked derives the queue's observed drain rate from it
+	// to size the Retry-After of a 429.
+	drainTimes [64]time.Time
+	drainIdx   int
+	drainCount int
 }
 
 // New builds a server from cfg. The returned Server is an http.Handler
@@ -121,6 +129,23 @@ func New(cfg Config) *Server {
 		router.OnSample = s.samples.publish
 		s.cache = campaign.NewJobCache(cfg.Store, router.Run)
 		s.sched = campaign.NewShared(maxQueued)
+		// A durable coordinator may have replayed an interrupted
+		// campaign from its WAL; rebind that work to this incarnation
+		// before the listener opens.
+		recovered := cfg.Cluster.Recovered()
+		for _, orphan := range recovered.Orphans {
+			// Results the dead daemon acknowledged to workers but never
+			// confirmed in the store: adopt them now. Idempotent (keyed
+			// by content hash) and best-effort — an orphan that fails to
+			// land stays in the coordinator's settled set and is
+			// re-served through Dispatch instead.
+			if cfg.Store != nil {
+				if _, ok := cfg.Store.Get(orphan.Key); !ok {
+					_ = cfg.Store.Append(orphan)
+				}
+			}
+		}
+		s.resumeRecovered(recovered)
 	} else {
 		// Single-process mode: a job-level runner so sampled jobs can
 		// stream live interval points into the hub; everything else is
@@ -163,6 +188,45 @@ func New(cfg Config) *Server {
 // ServeHTTP dispatches to the API routes.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// resumeRecovered re-dispatches the jobs a durable coordinator restored
+// from its WAL, so a daemon restart resumes the interrupted campaign on
+// its own — no client resubmission required. The dispatcher runs as a
+// tracked goroutine (Drain waits for it, and its context cancels with
+// everything else): it gives returning workers one lease TTL to
+// re-register, then pushes the jobs through the shared scheduler and
+// cache exactly like a client campaign — fleet when live, local
+// fallback otherwise — so every result lands in the store through the
+// single-flight path. Recovered jobs were admitted by the previous
+// incarnation, so they bypass admission control rather than competing
+// with (and possibly deadlocking behind) fresh submissions.
+func (s *Server) resumeRecovered(recovered cluster.Recovery) {
+	var jobs []campaign.Job
+	for _, wire := range recovered.Jobs {
+		j, err := wire.Job()
+		if err != nil {
+			continue // version skew: the job stays in the WAL for a build that understands it
+		}
+		jobs = append(jobs, j)
+	}
+	if len(jobs) == 0 {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		deadline := time.Now().Add(s.cluster.LeaseTTL())
+		for time.Now().Before(deadline) && s.cluster.LiveWorkers() == 0 && s.baseCtx.Err() == nil {
+			time.Sleep(20 * time.Millisecond)
+		}
+		if s.baseCtx.Err() != nil {
+			return
+		}
+		// Errors are deterministic simulation failures or a drain; either
+		// way the WAL and store already hold everything worth keeping.
+		_, _ = s.sched.RunCached(s.baseCtx, jobs, s.cache, nil)
+	}()
 }
 
 // Drain stops accepting new campaigns (submissions get 503), cancels
@@ -244,8 +308,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.queued+len(charged) > s.maxQueued {
 		queued := s.queued
+		retry := s.retryAfterLocked(s.queued+len(charged)-s.maxQueued, time.Now())
 		s.mu.Unlock()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests,
 			"queue full: %d jobs queued, %d requested, limit %d; retry later",
 			queued, len(charged), s.maxQueued)
@@ -331,14 +396,49 @@ func (s *Server) evictLocked() {
 	s.order = kept
 }
 
-// release returns n admission slots to the queue bound.
+// release returns n admission slots to the queue bound and stamps the
+// completions into the drain-rate ring.
 func (s *Server) release(n int) {
 	if n == 0 {
 		return
 	}
+	now := time.Now()
 	s.mu.Lock()
 	s.queued -= n
+	for i := 0; i < n; i++ {
+		s.drainTimes[s.drainIdx] = now
+		s.drainIdx = (s.drainIdx + 1) % len(s.drainTimes)
+		if s.drainCount < len(s.drainTimes) {
+			s.drainCount++
+		}
+	}
 	s.mu.Unlock()
+}
+
+// retryAfterLocked estimates how many seconds until need admission
+// slots free up, from the observed drain rate: the completions in the
+// ring divided by the time they span. No history (a freshly started,
+// instantly flooded daemon) or an instantaneous burst both give the
+// optimistic 1s floor; the ceiling keeps a stalled queue from parking
+// clients for more than a minute between probes. The caller holds s.mu.
+func (s *Server) retryAfterLocked(need int, now time.Time) int {
+	if s.drainCount == 0 {
+		return 1
+	}
+	oldest := s.drainTimes[(s.drainIdx-s.drainCount+len(s.drainTimes))%len(s.drainTimes)]
+	span := now.Sub(oldest)
+	if span <= 0 {
+		return 1
+	}
+	rate := float64(s.drainCount) / span.Seconds()
+	secs := int(math.Ceil(float64(need) / rate))
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
 }
 
 // lookup resolves a campaign ID, writing the 404 itself on a miss.
