@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: build test shorttest racetest vet bench bench-throughput benchbaseline benchcmp docscheck fuzzsmoke crashtest
+.PHONY: build test shorttest racetest vet bench bench-throughput benchbaseline benchcmp docscheck metricscheck fuzzsmoke crashtest
 
 # The hot-path benchmarks benchcmp tracks, and where their runs live.
-BENCH_PATTERN := BenchmarkSimulatorThroughput|BenchmarkSingleCoreSim
+# The metrics pair guards the observability overhead: per-sample updates
+# must stay allocation-free and a full /metrics scrape O(1)-alloc.
+BENCH_PATTERN := BenchmarkSimulatorThroughput|BenchmarkSingleCoreSim|BenchmarkMetricsUpdate|BenchmarkMetricsScrape
 BENCH_BASELINE := bench/baseline.txt
 BENCH_CURRENT := bench/current.txt
 
@@ -47,6 +49,13 @@ vet:
 # internal/campaign has a doc comment (mirrors the CI docs job).
 docscheck:
 	$(GO) test ./internal/docs/
+
+# Metrics naming and documentation lint: every metric any binary
+# registers is strict snake_case with the mflush_ prefix and appears in
+# API.md's Observability tables (and vice versa). Also part of
+# docscheck; this target runs just the metric lint.
+metricscheck:
+	$(GO) test -run TestMetricNamesConform ./internal/docs/
 
 # Full evaluation benchmarks: every figure's headline metric plus raw
 # simulator throughput.

@@ -16,7 +16,11 @@ package mflush
 // cmd/mflushbench.
 
 import (
+	"fmt"
+	"io"
 	"testing"
+
+	"repro/internal/metrics"
 
 	"repro/internal/experiments"
 	"repro/internal/sim"
@@ -224,4 +228,56 @@ func BenchmarkSingleCoreSim(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(cycles*b.N)/b.Elapsed().Seconds(), "sim_cycles/s")
+}
+
+// BenchmarkMetricsUpdate measures the per-sample cost of the metric
+// update paths a running simulation hits — a counter bump, a gauge set
+// and a histogram observation. It must stay allocation-free: updates
+// run on simulating goroutines at interval-sample rate.
+func BenchmarkMetricsUpdate(b *testing.B) {
+	r := metrics.NewRegistry()
+	c := r.Counter("mflush_bench_events_total", "bench")
+	g := r.Gauge("mflush_bench_depth", "bench")
+	h := r.Histogram("mflush_bench_latency_seconds", "bench", metrics.DefBuckets)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(float64(i))
+		h.Observe(float64(i%1000) / 1e6)
+	}
+}
+
+// BenchmarkMetricsScrape measures a full /metrics exposition pass over
+// a registry the size of the daemon's (a few dozen families, labeled
+// children, histograms). The write path reuses one scratch buffer, so
+// allocations must stay O(1) — independent of scrape count and family
+// count — and a scrape must stay cheap enough to run every few seconds
+// against a live fleet.
+func BenchmarkMetricsScrape(b *testing.B) {
+	r := metrics.NewRegistry()
+	for i := 0; i < 30; i++ {
+		name := fmt.Sprintf("mflush_bench_family_%02d", i)
+		switch i % 3 {
+		case 0:
+			r.Counter(name+"_total", "bench").Add(uint64(i))
+		case 1:
+			v := r.GaugeVec(name, "bench", "worker")
+			for j := 0; j < 4; j++ {
+				v.WithLabelValues(fmt.Sprintf("w%d", j)).Set(float64(j))
+			}
+		default:
+			h := r.Histogram(name+"_seconds", "bench", metrics.DefBuckets)
+			for j := 0; j < 100; j++ {
+				h.Observe(float64(j) / 1e3)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.WriteTo(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

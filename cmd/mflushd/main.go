@@ -8,7 +8,16 @@
 //
 //	mflushd [-addr :8080] [-store mflushd/results.jsonl] \
 //	        [-workers N] [-max-queue N] [-max-campaigns N] [-drain-timeout 60s] \
-//	        [-cluster] [-lease-ttl 15s] [-state-dir DIR] [-wal-compact N]
+//	        [-cluster] [-lease-ttl 15s] [-state-dir DIR] [-wal-compact N] \
+//	        [-debug-addr 127.0.0.1:6060]
+//
+// The daemon is observable out of the box: GET /metrics serves the
+// full registry (admission, campaigns, cache, SSE, fleet, WAL) in
+// Prometheus text format and GET /dashboard serves an embedded live
+// ops page — stat tiles, per-campaign interval-IPC sparklines fed by
+// the SSE sample stream, the worker-fleet table and a campaign
+// browser. -debug-addr additionally exposes net/http/pprof and expvar
+// on a separate (typically loopback) listener.
 //
 // With -cluster the daemon also coordinates a worker fleet: mflushworker
 // processes register over /v1/workers, lease jobs, and post results;
@@ -45,6 +54,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/server"
 )
 
@@ -72,6 +82,8 @@ func run() error {
 		"directory for the durable coordinator queue (WAL + snapshot); requires -cluster; empty: in-memory queue")
 	walCompact := flag.Int("wal-compact", cluster.DefaultCompactEvery,
 		"WAL tail records between snapshot compactions (with -state-dir)")
+	debugAddr := flag.String("debug-addr", "",
+		"serve net/http/pprof and expvar on this private address (empty: disabled)")
 	flag.Parse()
 
 	if *stateDir != "" && !*clusterMode {
@@ -127,6 +139,23 @@ func run() error {
 		return err
 	}
 	httpSrv := &http.Server{Handler: srv}
+
+	// The debug surface (pprof profiles, expvar) binds its own listener
+	// so it can stay on localhost while /metrics and the API face the
+	// fleet. It serves until the process exits; nothing on it holds
+	// state that needs draining.
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		log.Printf("mflushd: debug (pprof, expvar) on %s", dln.Addr())
+		go func() {
+			if err := http.Serve(dln, metrics.DebugHandler()); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("mflushd: debug server: %v", err)
+			}
+		}()
+	}
 
 	mode := "single-process"
 	if *clusterMode {

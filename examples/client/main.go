@@ -67,13 +67,22 @@ func run(addr, specPath, format string) error {
 	}
 
 	// 0. If the daemon coordinates a worker fleet (-cluster), say so —
-	// the campaign's jobs will shard across it.
+	// the campaign's jobs will shard across it. The liveness detail
+	// (lifetime jobs, observed simulation rate) rides on each worker's
+	// lease heartbeats; the daemon just mirrors the latest report.
 	if fleet, ok := fetchFleet(addr); ok {
 		total := 0
 		for _, w := range fleet.Workers {
 			total += w.Capacity
 		}
 		fmt.Printf("fleet: %d workers, total capacity %d\n", len(fleet.Workers), total)
+		for _, w := range fleet.Workers {
+			line := fmt.Sprintf("  %-12s capacity %d, %d jobs done", w.Name, w.Capacity, w.JobsDone)
+			if w.CyclesPerSec > 0 {
+				line += fmt.Sprintf(", %.0f cycles/s", w.CyclesPerSec)
+			}
+			fmt.Println(line)
+		}
 	}
 
 	// 1. Submit the campaign.
@@ -240,9 +249,11 @@ func follow(url string) (status, sampleSeries, error) {
 // fleet mirrors the GET /v1/workers body (see API.md).
 type fleet struct {
 	Workers []struct {
-		ID       string `json:"id"`
-		Name     string `json:"name"`
-		Capacity int    `json:"capacity"`
+		ID           string  `json:"id"`
+		Name         string  `json:"name"`
+		Capacity     int     `json:"capacity"`
+		JobsDone     uint64  `json:"jobs_done"`
+		CyclesPerSec float64 `json:"cycles_per_sec"`
 	} `json:"workers"`
 	Pending int `json:"pending"`
 }

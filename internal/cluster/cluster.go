@@ -106,8 +106,17 @@ type Coordinator struct {
 	// requeued counts leases taken back from dead or departing workers
 	// and re-issued — the fleet's churn metric, served by /v1/workers.
 	requeued uint64
-	wake     chan struct{} // closed+replaced when pending grows
-	done     chan struct{} // closed by Close; stops the reaper
+	// Lease lifecycle counters behind /metrics: every grant, every TTL
+	// expiry, every forfeiture (clean deregister requeues plus leases a
+	// dead incarnation held). requeued == leasesExpired+leasesForfeited.
+	leasesIssued    uint64
+	leasesExpired   uint64
+	leasesForfeited uint64
+	// pm, when RegisterMetrics has run, holds the per-worker gauge
+	// families updated on heartbeats and pruned on worker departure.
+	pm   *perWorkerMetrics
+	wake chan struct{} // closed+replaced when pending grows
+	done chan struct{} // closed by Close; stops the reaper
 
 	// Durability state; all nil/zero for an in-memory coordinator.
 	wal          *wal
@@ -136,13 +145,20 @@ type workerState struct {
 	lastSeen  time.Time
 	leased    map[string]*task
 	completed uint64
+	// Self-reported liveness detail, refreshed by every heartbeat: the
+	// worker's own lifetime counters survive its re-registrations, so
+	// they can disagree with (exceed) the coordinator-side completed.
+	lastJobKey   string
+	jobsDone     uint64
+	cyclesPerSec float64
 }
 
 // task is one dispatched job travelling through the queue.
 type task struct {
 	job      campaign.Job
-	waiters  int    // Dispatch callers blocked on done
-	leasedBy string // worker ID, "" while pending
+	waiters  int       // Dispatch callers blocked on done
+	leasedBy string    // worker ID, "" while pending
+	leasedAt time.Time // grant time, meaningful only while leasedBy != ""
 
 	done chan struct{} // closed on completion or failure
 	rec  campaign.Record
@@ -215,6 +231,7 @@ func OpenCoordinator(cfg Config) (*Coordinator, error) {
 	}
 	// Forfeited leases become plain pending jobs; count the churn.
 	c.requeued += uint64(len(c.recovery.Forfeited))
+	c.leasesForfeited += uint64(len(c.recovery.Forfeited))
 	for _, rec := range c.recovery.Orphans {
 		c.settled[rec.Key] = rec
 	}
@@ -407,10 +424,12 @@ func (c *Coordinator) reapLocked() {
 		for key, t := range w.leased {
 			t.leasedBy = ""
 			c.requeued++
+			c.leasesExpired++
 			c.pending = append(c.pending, t)
 			delete(w.leased, key)
 			requeues = append(requeues, walRecord{Op: opRequeue, Key: key})
 		}
+		c.pm.remove(w)
 		delete(c.workers, id)
 	}
 	c.logBestEffort(requeues...)
@@ -597,6 +616,7 @@ func (c *Coordinator) Register(name string, capacity int) (WorkerStatus, error) 
 		leased:   make(map[string]*task),
 	}
 	c.workers[w.id] = w
+	c.pm.update(w)
 	return w.status(), nil
 }
 
@@ -617,10 +637,12 @@ func (c *Coordinator) Deregister(workerID string) error {
 	for key, t := range w.leased {
 		t.leasedBy = ""
 		c.requeued++
+		c.leasesForfeited++
 		c.pending = append(c.pending, t)
 		delete(w.leased, key)
 		requeues = append(requeues, walRecord{Op: opRequeue, Key: key})
 	}
+	c.pm.remove(w)
 	delete(c.workers, workerID)
 	c.logBestEffort(requeues...)
 	c.reapLocked() // strand check: this may have been the last worker
@@ -630,13 +652,31 @@ func (c *Coordinator) Deregister(workerID string) error {
 	return nil
 }
 
+// Liveness is the self-reported detail a worker attaches to each
+// lease/heartbeat call: what it last ran and how fast. The coordinator
+// republishes it through /v1/workers and the per-worker /metrics
+// gauges, so fleet dashboards can tell a parked worker from a wedged
+// one without scraping every worker individually.
+type Liveness struct {
+	// LastJobKey is the key of the most recent job the worker finished
+	// (successfully or not); empty until it has finished one.
+	LastJobKey string
+	// JobsDone is the worker's lifetime finished-job count. It survives
+	// re-registration, unlike the coordinator's per-identity tally.
+	JobsDone uint64
+	// CyclesPerSec is the simulated-cycle rate of the worker's most
+	// recent successful job (0 until one succeeds).
+	CyclesPerSec float64
+}
+
 // Lease hands the calling worker up to max pending jobs and records the
-// call as a heartbeat (max 0 is a pure heartbeat). When nothing is
-// pending it long-polls up to wait — capped at half the lease TTL so a
-// parked worker still heartbeats — and returns an empty batch on
-// timeout. Returns ErrUnknownWorker for IDs the coordinator dropped;
-// the worker should re-register and retry.
-func (c *Coordinator) Lease(workerID string, max int, wait time.Duration) ([]campaign.WireJob, error) {
+// call as a heartbeat (max 0 is a pure heartbeat), adopting the
+// liveness detail the worker reported. When nothing is pending it
+// long-polls up to wait — capped at half the lease TTL so a parked
+// worker still heartbeats — and returns an empty batch on timeout.
+// Returns ErrUnknownWorker for IDs the coordinator dropped; the worker
+// should re-register and retry.
+func (c *Coordinator) Lease(workerID string, max int, wait time.Duration, live Liveness) ([]campaign.WireJob, error) {
 	if wait > c.ttl/2 {
 		wait = c.ttl / 2
 	}
@@ -654,6 +694,8 @@ func (c *Coordinator) Lease(workerID string, max int, wait time.Duration) ([]cam
 			return nil, ErrUnknownWorker
 		}
 		w.lastSeen = time.Now()
+		w.lastJobKey, w.jobsDone, w.cyclesPerSec = live.LastJobKey, live.JobsDone, live.CyclesPerSec
+		c.pm.update(w)
 		if max <= 0 {
 			c.mu.Unlock()
 			return nil, nil
@@ -675,11 +717,15 @@ func (c *Coordinator) Lease(workerID string, max int, wait time.Duration) ([]cam
 			}
 			faultpoint.Hit("cluster.lease.granted")
 			batch := make([]campaign.WireJob, 0, n)
+			grantedAt := time.Now()
 			for _, t := range c.pending[:n] {
 				t.leasedBy = workerID
+				t.leasedAt = grantedAt
 				w.leased[t.job.Key()] = t
 				batch = append(batch, t.job.Wire())
 			}
+			c.leasesIssued += uint64(n)
+			c.pm.update(w)
 			c.pending = append(c.pending[:0], c.pending[n:]...)
 			// Compact only after the grants are reflected in memory, so
 			// a snapshot here cannot drop them.
@@ -800,6 +846,7 @@ func (c *Coordinator) Complete(workerID string, recs []campaign.Record, fails []
 	for _, f := range fails {
 		settle(f.Key, campaign.Record{}, fmt.Errorf("cluster: worker %s: %s", workerID, f.Error))
 	}
+	c.pm.update(w)
 	c.maybeCompactLocked()
 	return accepted, duplicates, nil
 }
@@ -822,12 +869,22 @@ type WorkerStatus struct {
 	Completed uint64 `json:"completed"`
 	// LastSeen is the worker's most recent heartbeat.
 	LastSeen time.Time `json:"last_seen"`
+	// LastJobKey is the worker's self-reported most recently finished
+	// job key; empty until it has finished one.
+	LastJobKey string `json:"last_job_key,omitempty"`
+	// JobsDone is the worker's self-reported lifetime finished-job
+	// count, which survives re-registration (Completed does not).
+	JobsDone uint64 `json:"jobs_done"`
+	// CyclesPerSec is the self-reported simulated-cycle rate of the
+	// worker's most recent successful job.
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
 }
 
 func (w *workerState) status() WorkerStatus {
 	return WorkerStatus{
 		ID: w.id, Name: w.name, Capacity: w.capacity,
 		Leased: len(w.leased), Completed: w.completed, LastSeen: w.lastSeen,
+		LastJobKey: w.lastJobKey, JobsDone: w.jobsDone, CyclesPerSec: w.cyclesPerSec,
 	}
 }
 

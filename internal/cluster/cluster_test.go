@@ -62,7 +62,7 @@ func TestDispatchLeaseCompleteRoundTrip(t *testing.T) {
 	}()
 
 	// The worker leases the job (long-polling across the dispatch race).
-	batch, err := c.Lease(w.ID, 4, time.Second)
+	batch, err := c.Lease(w.ID, 4, time.Second, Liveness{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +120,7 @@ func TestLeaseReissuedAfterWorkerDeath(t *testing.T) {
 	}()
 
 	// The doomed worker takes the job ... and is never heard from again.
-	batch, err := c.Lease(dead.ID, 1, time.Second)
+	batch, err := c.Lease(dead.ID, 1, time.Second, Liveness{})
 	if err != nil || len(batch) != 1 {
 		t.Fatalf("doomed lease = %v, %v", batch, err)
 	}
@@ -133,7 +133,7 @@ func TestLeaseReissuedAfterWorkerDeath(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("lease never re-issued after worker death")
 		}
-		reissued, err = c.Lease(live.ID, 1, 50*time.Millisecond)
+		reissued, err = c.Lease(live.ID, 1, 50*time.Millisecond, Liveness{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -168,7 +168,7 @@ func TestDuplicateResultDiscarded(t *testing.T) {
 		defer close(done)
 		c.Dispatch(context.Background(), j)
 	}()
-	if _, err := c.Lease(w.ID, 1, time.Second); err != nil {
+	if _, err := c.Lease(w.ID, 1, time.Second, Liveness{}); err != nil {
 		t.Fatal(err)
 	}
 	rec := testRecord(t, j)
@@ -200,7 +200,7 @@ func TestFleetDeathStrandsToErrNoWorkers(t *testing.T) {
 			errs <- err
 		}(j)
 	}
-	if _, err := c.Lease(w.ID, 1, time.Second); err != nil {
+	if _, err := c.Lease(w.ID, 1, time.Second, Liveness{}); err != nil {
 		t.Fatal(err)
 	}
 	// The only worker goes silent; both dispatchers must strand out.
@@ -261,7 +261,7 @@ func TestDispatchRidesOutCancellationOnceLeased(t *testing.T) {
 		rec, err := c.Dispatch(ctx, j)
 		done <- result{rec, err}
 	}()
-	if _, err := c.Lease(w.ID, 1, time.Second); err != nil {
+	if _, err := c.Lease(w.ID, 1, time.Second, Liveness{}); err != nil {
 		t.Fatal(err)
 	}
 	cancel()
@@ -293,7 +293,7 @@ func TestWorkerFailurePropagates(t *testing.T) {
 		_, err := c.Dispatch(context.Background(), j)
 		done <- err
 	}()
-	if _, err := c.Lease(w.ID, 1, time.Second); err != nil {
+	if _, err := c.Lease(w.ID, 1, time.Second, Liveness{}); err != nil {
 		t.Fatal(err)
 	}
 	if _, _, err := c.Complete(w.ID, nil, []JobFailure{{Key: j.Key(), Error: "synthetic boom"}}); err != nil {
@@ -347,13 +347,13 @@ func TestDeregisterReissuesImmediately(t *testing.T) {
 		_, err := c.Dispatch(context.Background(), j)
 		done <- err
 	}()
-	if _, err := c.Lease(leaver.ID, 1, time.Second); err != nil {
+	if _, err := c.Lease(leaver.ID, 1, time.Second, Liveness{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := c.Deregister(leaver.ID); err != nil {
 		t.Fatal(err)
 	}
-	batch, err := c.Lease(stayer.ID, 1, time.Second)
+	batch, err := c.Lease(stayer.ID, 1, time.Second, Liveness{})
 	if err != nil || len(batch) != 1 || batch[0].Key != j.Key() {
 		t.Fatalf("post-deregister lease = %+v, %v", batch, err)
 	}
@@ -384,7 +384,7 @@ func TestWorkerIDsNeverCollideAcrossCoordinators(t *testing.T) {
 	if w1.ID == w2.ID {
 		t.Fatalf("two coordinators issued the same worker ID %s", w1.ID)
 	}
-	if _, err := c2.Lease(w1.ID, 1, 0); !errors.Is(err, ErrUnknownWorker) {
+	if _, err := c2.Lease(w1.ID, 1, 0, Liveness{}); !errors.Is(err, ErrUnknownWorker) {
 		t.Fatalf("stale-coordinator ID accepted by new coordinator: %v", err)
 	}
 }

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/metrics"
+)
+
+// scrapeValues renders r and returns every sample keyed by its rendered
+// identity (name plus sorted labels) — a convenience for asserting on a
+// conformance-checked exposition.
+func scrapeValues(t *testing.T, r *metrics.Registry) map[string]float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := r.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := metrics.ParseExposition(buf.Bytes())
+	if err != nil {
+		t.Fatalf("coordinator exposition does not conform: %v\n%s", err, buf.String())
+	}
+	out := map[string]float64{}
+	for _, fam := range fams {
+		for _, s := range fam.Samples {
+			key := s.Name
+			for _, l := range []string{"worker", "name", "le"} {
+				if v, ok := s.Labels[l]; ok {
+					key += "|" + l + "=" + v
+				}
+			}
+			out[key] = s.Value
+		}
+	}
+	return out
+}
+
+// TestCoordinatorMetrics drives a register → lease → complete cycle and
+// a TTL expiry through an instrumented durable coordinator, asserting
+// the fleet gauges, lease counters, per-worker liveness series and WAL
+// histograms all move — and that the exposition stays conformant
+// throughout.
+func TestCoordinatorMetrics(t *testing.T) {
+	c, err := OpenCoordinator(Config{LeaseTTL: 80 * time.Millisecond, StateDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	w, err := c.Register("m1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := scrapeValues(t, reg)
+	if vals["mflush_fleet_workers"] != 1 {
+		t.Fatalf("fleet workers = %v, want 1", vals["mflush_fleet_workers"])
+	}
+
+	j := testJobs(t, 7)[0]
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Dispatch(context.Background(), j)
+		done <- err
+	}()
+	batch, err := c.Lease(w.ID, 1, time.Second, Liveness{LastJobKey: "prior", JobsDone: 3, CyclesPerSec: 123456})
+	if err != nil || len(batch) != 1 {
+		t.Fatalf("lease = %v, %v", batch, err)
+	}
+	vals = scrapeValues(t, reg)
+	if vals["mflush_leases_issued_total"] != 1 {
+		t.Fatalf("leases issued = %v, want 1", vals["mflush_leases_issued_total"])
+	}
+	if vals["mflush_fleet_lease_age_seconds"] <= 0 {
+		t.Fatalf("lease age = %v, want > 0 while leased", vals["mflush_fleet_lease_age_seconds"])
+	}
+	wkey := "|worker=" + w.ID + "|name=m1"
+	if vals["mflush_fleet_worker_jobs_done"+wkey] != 3 {
+		t.Fatalf("per-worker jobs done = %v, want the heartbeat-reported 3", vals["mflush_fleet_worker_jobs_done"+wkey])
+	}
+	if vals["mflush_fleet_worker_cycles_per_sec"+wkey] != 123456 {
+		t.Fatalf("per-worker cycles/s = %v, want 123456", vals["mflush_fleet_worker_cycles_per_sec"+wkey])
+	}
+	if vals["mflush_fleet_worker_leased"+wkey] != 1 {
+		t.Fatalf("per-worker leased = %v, want 1", vals["mflush_fleet_worker_leased"+wkey])
+	}
+	// The liveness detail also lands in the fleet snapshot.
+	if ws := c.Workers(); len(ws) != 1 || ws[0].LastJobKey != "prior" || ws[0].JobsDone != 3 || ws[0].CyclesPerSec != 123456 {
+		t.Fatalf("fleet snapshot missing liveness detail: %+v", ws)
+	}
+
+	if _, _, err := c.Complete(w.ID, []campaign.Record{testRecord(t, j)}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	vals = scrapeValues(t, reg)
+	if vals["mflush_fleet_worker_completed"+wkey] != 1 {
+		t.Fatalf("per-worker completed = %v, want 1", vals["mflush_fleet_worker_completed"+wkey])
+	}
+	// Durable transitions hit the WAL: append and fsync histograms must
+	// have observed them.
+	if vals["mflush_wal_append_seconds_count"] == 0 || vals["mflush_wal_fsync_seconds_count"] == 0 {
+		t.Fatalf("WAL histograms did not move: append=%v fsync=%v",
+			vals["mflush_wal_append_seconds_count"], vals["mflush_wal_fsync_seconds_count"])
+	}
+
+	// Let the worker's TTL expire: the fleet empties and its per-worker
+	// series leave the exposition.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if c.LiveWorkers() == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never expired")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	vals = scrapeValues(t, reg)
+	if vals["mflush_fleet_workers"] != 0 {
+		t.Fatalf("fleet workers = %v after expiry, want 0", vals["mflush_fleet_workers"])
+	}
+	if _, ok := vals["mflush_fleet_worker_leased"+wkey]; ok {
+		t.Fatal("expired worker's series still exposed")
+	}
+}
+
+// TestLeaseExpiryCounters pins the expired-vs-forfeited split: a TTL
+// reap counts as expired, a clean deregister as forfeited.
+func TestLeaseExpiryCounters(t *testing.T) {
+	c := newTestCoordinator(t, time.Minute)
+	reg := metrics.NewRegistry()
+	c.RegisterMetrics(reg)
+
+	jobs := testJobs(t, 11)
+	w1, _ := c.Register("leaver", 1)
+	go func() { c.Dispatch(context.Background(), jobs[0]) }()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if batch, err := c.Lease(w1.ID, 1, 100*time.Millisecond, Liveness{}); err != nil {
+			t.Fatal(err)
+		} else if len(batch) == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never leased the dispatched job")
+		}
+	}
+	if err := c.Deregister(w1.ID); err != nil {
+		t.Fatal(err)
+	}
+	vals := scrapeValues(t, reg)
+	if vals["mflush_leases_forfeited_total"] != 1 || vals["mflush_leases_expired_total"] != 0 {
+		t.Fatalf("forfeited/expired = %v/%v, want 1/0 after a clean deregister",
+			vals["mflush_leases_forfeited_total"], vals["mflush_leases_expired_total"])
+	}
+}

@@ -24,13 +24,25 @@ type RegisterResponse struct {
 	LeaseTTLMS int64 `json:"lease_ttl_ms"`
 }
 
-// LeaseRequest is the POST /v1/workers/{id}/lease body.
+// LeaseRequest is the POST /v1/workers/{id}/lease body. Beyond the
+// batch parameters it carries the worker's liveness detail — every
+// lease call doubles as a heartbeat, so the payload keeps the fleet
+// view (GET /v1/workers, the daemon's per-worker metrics) current
+// without any extra round trip.
 type LeaseRequest struct {
 	// Max bounds the batch; 0 makes the call a pure heartbeat.
 	Max int `json:"max"`
 	// WaitMS long-polls for work up to this many milliseconds (capped
 	// by the coordinator at half the lease TTL).
 	WaitMS int64 `json:"wait_ms,omitempty"`
+	// LastJobKey is the most recent job the worker finished, if any.
+	LastJobKey string `json:"last_job_key,omitempty"`
+	// JobsDone is the worker's lifetime finished-job count (it survives
+	// re-registration).
+	JobsDone uint64 `json:"jobs_done,omitempty"`
+	// CyclesPerSec is the simulation rate of the worker's most recent
+	// successful job.
+	CyclesPerSec float64 `json:"cycles_per_sec,omitempty"`
 }
 
 // LeaseResponse is the lease body: the leased batch, possibly empty.

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/faultpoint"
+	"repro/internal/metrics"
 )
 
 // The coordinator's write-ahead log. A durable coordinator
@@ -72,6 +74,14 @@ type wal struct {
 	dir      string
 	tail     *os.File
 	tailRecs int
+
+	// Latency instrumentation, set by Coordinator.RegisterMetrics. Nil
+	// until then — and nil metric receivers are no-ops, so the hot
+	// paths observe unconditionally.
+	appendH     *metrics.Histogram
+	fsyncH      *metrics.Histogram
+	compactH    *metrics.Histogram
+	compactions *metrics.Counter
 }
 
 // openWAL opens (creating if needed) the log under dir, replays
@@ -147,13 +157,17 @@ func (w *wal) append(recs ...walRecord) error {
 		w.tail.Sync()
 		faultpoint.Hit("wal.append.torn")
 	}
+	start := time.Now()
 	if _, err := w.tail.Write(buf.Bytes()); err != nil {
 		return fmt.Errorf("cluster: wal append: %w", err)
 	}
+	wrote := time.Now()
+	w.appendH.Observe(wrote.Sub(start).Seconds())
 	faultpoint.Hit("wal.sync.before")
 	if err := w.tail.Sync(); err != nil {
 		return fmt.Errorf("cluster: wal sync: %w", err)
 	}
+	w.fsyncH.Observe(time.Since(wrote).Seconds())
 	w.tailRecs += len(recs)
 	return nil
 }
@@ -170,6 +184,7 @@ func (w *wal) compact(snapshot []walRecord) error {
 	if err := faultpoint.Check("wal.compact.err"); err != nil {
 		return err
 	}
+	start := time.Now()
 	var buf bytes.Buffer
 	for _, r := range snapshot {
 		line, err := json.Marshal(r)
@@ -204,6 +219,8 @@ func (w *wal) compact(snapshot []walRecord) error {
 	}
 	w.tail.Sync()
 	w.tailRecs = 0
+	w.compactH.Observe(time.Since(start).Seconds())
+	w.compactions.Inc()
 	return nil
 }
 

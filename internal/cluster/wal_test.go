@@ -77,7 +77,7 @@ func TestWALRestartResumesQueue(t *testing.T) {
 		dispatchAsync(c1, j)
 		waitPending(t, c1, i+1)
 	}
-	batch, err := c1.Lease(w.ID, 2, 0)
+	batch, err := c1.Lease(w.ID, 2, 0, Liveness{})
 	if err != nil || len(batch) != 2 {
 		t.Fatalf("lease: %v (%d jobs)", err, len(batch))
 	}
@@ -123,7 +123,7 @@ func TestWALRestartResumesQueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	batch2, err := c2.Lease(w2.ID, 8, 0)
+	batch2, err := c2.Lease(w2.ID, 8, 0, Liveness{})
 	if err != nil || len(batch2) != 3 {
 		t.Fatalf("lease after restart: %v (%d jobs)", err, len(batch2))
 	}
@@ -290,7 +290,7 @@ func TestWALCompactionPrunesPersisted(t *testing.T) {
 		results[i] = dispatchAsync(c1, j)
 		waitPending(t, c1, i+1)
 	}
-	batch, err := c1.Lease(w.ID, 4, 0)
+	batch, err := c1.Lease(w.ID, 4, 0, Liveness{})
 	if err != nil || len(batch) != 2 {
 		t.Fatalf("lease: %v (%d jobs)", err, len(batch))
 	}
@@ -405,7 +405,7 @@ func TestWALConcurrentAckCompaction(t *testing.T) {
 					return
 				default:
 				}
-				batch, err := c.Lease(id, 2, 10*time.Millisecond)
+				batch, err := c.Lease(id, 2, 10*time.Millisecond, Liveness{})
 				if err != nil {
 					return // closed
 				}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -37,22 +38,63 @@ type Worker struct {
 	LeaseWait time.Duration
 	// Logf, when set, receives one line per lifecycle event and job.
 	Logf func(format string, args ...any)
+
+	// m holds the worker's own metric handles (RegisterMetrics). The
+	// zero value works: nil metric receivers are no-ops.
+	m workerMetrics
+}
+
+// workerMetrics is the worker-process observability surface, served by
+// cmd/mflushworker's -metrics-addr endpoint.
+type workerMetrics struct {
+	jobsCompleted *metrics.Counter
+	jobsFailed    *metrics.Counter
+	simCycles     *metrics.Counter
+	cyclesPerSec  *metrics.Gauge
+	inflight      *metrics.Gauge
+	backoff       *metrics.Gauge
+}
+
+// RegisterMetrics publishes the worker's metrics into r: lifetime
+// completed/failed job counters, total simulated cycles, the rate of
+// the last successful job, current in-flight simulations, and the pull
+// loop's current retry backoff (0 while the coordinator is healthy).
+// Call before Run.
+func (w *Worker) RegisterMetrics(r *metrics.Registry) {
+	w.m = workerMetrics{
+		jobsCompleted: r.Counter("mflush_worker_jobs_completed_total", "Jobs this worker finished successfully."),
+		jobsFailed:    r.Counter("mflush_worker_jobs_failed_total", "Jobs whose simulation errored on this worker."),
+		simCycles:     r.Counter("mflush_worker_sim_cycles_total", "Simulated cycles (warmup included) across all completed jobs."),
+		cyclesPerSec:  r.Gauge("mflush_worker_cycles_per_sec", "Simulation rate of the most recent successful job."),
+		inflight:      r.Gauge("mflush_worker_inflight", "Simulations currently running."),
+		backoff:       r.Gauge("mflush_worker_backoff_seconds", "Current pull-loop retry backoff; 0 while the coordinator is reachable."),
+	}
 }
 
 // outcome is one finished job travelling from a simulation goroutine
-// back to the posting loop.
+// back to the posting loop, with the liveness detail the next heartbeat
+// reports.
 type outcome struct {
 	rec  campaign.Record
 	fail *JobFailure
+	// key is the job's content hash, set for success and failure alike.
+	key string
+	// cycles and secs describe a successful simulation: cycles executed
+	// (warmup included) over wall-clock seconds.
+	cycles float64
+	secs   float64
 }
 
 // retryDelay paces the pull loop's retries against an unreachable or
 // unconverged coordinator: capped exponential backoff (250ms doubling
 // to 10s) with jitter on the upper half of each step, so a fleet
 // restarted together does not hammer a recovering daemon in lockstep.
-// reset after any success, so an isolated hiccup stays cheap.
+// reset after any success, so an isolated hiccup stays cheap. The
+// optional gauge mirrors the current step so a stuck worker's backoff
+// state is visible on its /metrics endpoint.
 type retryDelay struct {
 	d time.Duration
+	g *metrics.Gauge
 }
 
 // next returns the delay to sleep before the following attempt.
@@ -63,11 +105,16 @@ func (r *retryDelay) next() time.Duration {
 		r.d = 10 * time.Second
 	}
 	half := r.d / 2
-	return half + rand.N(half+1)
+	d := half + rand.N(half+1)
+	r.g.Set(d.Seconds())
+	return d
 }
 
 // reset returns the backoff to its initial step.
-func (r *retryDelay) reset() { r.d = 0 }
+func (r *retryDelay) reset() {
+	r.d = 0
+	r.g.Set(0)
+}
 
 // Run executes the pull loop until ctx is cancelled, then drains and
 // deregisters. Registration retries with capped jittered backoff for as
@@ -96,7 +143,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	// (or while it is replaying a WAL after a crash) keeps knocking and
 	// joins the fleet on its own once the daemon converges. Only a
 	// cancellation before any registration succeeds returns an error.
-	var retry retryDelay
+	retry := retryDelay{g: w.m.backoff}
 	id, ttl, err := w.register(ctx, name, capacity)
 	for err != nil {
 		if ctx.Err() != nil {
@@ -114,6 +161,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	defer heartbeat.Stop()
 	results := make(chan outcome, capacity)
 	inflight := 0
+	// live is the liveness detail every lease/heartbeat call reports:
+	// lifetime counters, so they survive re-registration.
+	var live Liveness
 
 	// reregister obtains a fresh identity after the coordinator forgot
 	// us (it restarted, or we missed heartbeats) and adopts the whole
@@ -175,22 +225,48 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	start := func(wire campaign.WireJob) {
 		inflight++
+		w.m.inflight.Set(float64(inflight))
 		go func() {
 			j, err := wire.Job()
 			if err == nil && j.Key() != wire.Key {
 				err = fmt.Errorf("cluster: job key mismatch (worker and coordinator builds differ?): computed %s, leased %s", j.Key(), wire.Key)
 			}
 			if err != nil {
-				results <- outcome{fail: &JobFailure{Key: wire.Key, Error: err.Error()}}
+				results <- outcome{fail: &JobFailure{Key: wire.Key, Error: err.Error()}, key: wire.Key}
 				return
 			}
+			began := time.Now()
 			res, err := runner(j.Options())
 			if err != nil {
-				results <- outcome{fail: &JobFailure{Key: wire.Key, Error: err.Error()}}
+				results <- outcome{fail: &JobFailure{Key: wire.Key, Error: err.Error()}, key: wire.Key}
 				return
 			}
-			results <- outcome{rec: campaign.NewRecord(j, res)}
+			results <- outcome{
+				rec:    campaign.NewRecord(j, res),
+				key:    wire.Key,
+				cycles: float64(j.Cycles + j.Warmup),
+				secs:   time.Since(began).Seconds(),
+			}
 		}()
+	}
+	// finish books one completed outcome — liveness for the next
+	// heartbeat, the worker's own metrics — then ships it.
+	finish := func(o outcome) {
+		inflight--
+		w.m.inflight.Set(float64(inflight))
+		live.LastJobKey = o.key
+		live.JobsDone++
+		if o.fail != nil {
+			w.m.jobsFailed.Inc()
+		} else {
+			w.m.jobsCompleted.Inc()
+			w.m.simCycles.Add(uint64(o.cycles))
+			if o.secs > 0 {
+				live.CyclesPerSec = o.cycles / o.secs
+				w.m.cyclesPerSec.Set(live.CyclesPerSec)
+			}
+		}
+		post(o)
 	}
 
 	for ctx.Err() == nil {
@@ -198,8 +274,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		for drained := false; !drained; {
 			select {
 			case o := <-results:
-				inflight--
-				post(o)
+				finish(o)
 			default:
 				drained = true
 			}
@@ -213,7 +288,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			if inflight > 0 && wait > 100*time.Millisecond {
 				wait = 100 * time.Millisecond
 			}
-			jobs, err := w.lease(ctx, id, free, wait)
+			jobs, err := w.lease(ctx, id, free, wait, live)
 			if isUnknownWorker(err) {
 				if !reregister(ctx) {
 					w.sleep(ctx, retry.next())
@@ -241,10 +316,9 @@ func (w *Worker) Run(ctx context.Context) error {
 		// do not get our leases re-issued under us.
 		select {
 		case o := <-results:
-			inflight--
-			post(o)
+			finish(o)
 		case <-heartbeat.C:
-			if _, err := w.lease(ctx, id, 0, 0); isUnknownWorker(err) {
+			if _, err := w.lease(ctx, id, 0, 0, live); isUnknownWorker(err) {
 				reregister(ctx)
 			}
 		case <-ctx.Done():
@@ -261,10 +335,9 @@ func (w *Worker) Run(ctx context.Context) error {
 	for inflight > 0 {
 		select {
 		case o := <-results:
-			inflight--
-			post(o)
+			finish(o)
 		case <-heartbeat.C:
-			if _, err := w.lease(drainCtx, id, 0, 0); isUnknownWorker(err) {
+			if _, err := w.lease(drainCtx, id, 0, 0, live); isUnknownWorker(err) {
 				reregister(drainCtx)
 			}
 		}
@@ -291,10 +364,14 @@ func (w *Worker) register(ctx context.Context, name string, capacity int) (id st
 }
 
 // lease asks for up to max jobs, long-polling wait; max 0 heartbeats.
-func (w *Worker) lease(ctx context.Context, id string, max int, wait time.Duration) ([]campaign.WireJob, error) {
+// Every call carries the worker's current liveness detail.
+func (w *Worker) lease(ctx context.Context, id string, max int, wait time.Duration, live Liveness) ([]campaign.WireJob, error) {
 	var resp LeaseResponse
 	err := w.call(ctx, "POST", "/v1/workers/"+id+"/lease",
-		LeaseRequest{Max: max, WaitMS: wait.Milliseconds()}, &resp)
+		LeaseRequest{
+			Max: max, WaitMS: wait.Milliseconds(),
+			LastJobKey: live.LastJobKey, JobsDone: live.JobsDone, CyclesPerSec: live.CyclesPerSec,
+		}, &resp)
 	if err != nil {
 		return nil, err
 	}

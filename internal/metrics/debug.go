@@ -1,0 +1,26 @@
+package metrics
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugHandler returns the optional profiling surface mflushd and
+// mflushworker mount behind their -debug-addr flag: the net/http/pprof
+// profile endpoints under /debug/pprof/ and the expvar JSON dump
+// (Go runtime memstats, goroutine counts via the pprof index, command
+// line) under /debug/vars. It is built on a private mux so importing
+// this package never pollutes http.DefaultServeMux, and the binaries
+// only listen when the flag is set — profiling is opt-in, on its own
+// address, never on the service port.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -1,0 +1,350 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition-format conformance checking. ParseExposition is the
+// strict reader the conformance tests (and the docs-side metricscheck
+// lint) run over scraped output: it accepts exactly the subset of the
+// Prometheus text format this registry emits and rejects anything
+// malformed — missing HELP/TYPE declarations, bad label escaping,
+// non-monotonic histogram buckets, a missing +Inf bound. Keeping the
+// checker next to the writer means a format regression fails a unit
+// test instead of a production scrape.
+
+// ExpoSample is one parsed sample line.
+type ExpoSample struct {
+	// Name is the full sample name, including any _bucket/_sum/_count
+	// histogram suffix.
+	Name string
+	// Labels holds the sample's label pairs (unescaped values).
+	Labels map[string]string
+	// Value is the parsed sample value.
+	Value float64
+}
+
+// ExpoFamily is one parsed metric family: its declarations and samples.
+type ExpoFamily struct {
+	// Name is the family name from the # TYPE line.
+	Name string
+	// Help is the # HELP text (unescaped).
+	Help string
+	// Type is the declared kind: counter, gauge or histogram.
+	Type string
+	// Samples are the family's sample lines in exposition order.
+	Samples []ExpoSample
+}
+
+// ParseExposition parses and validates a text-format exposition. It
+// returns the families by name, or the first conformance violation:
+// samples without a preceding HELP+TYPE declaration, malformed lines or
+// label escaping, duplicate declarations, histograms whose cumulative
+// bucket counts decrease, whose le bounds are not increasing, or whose
+// +Inf bucket is absent or disagrees with _count.
+func ParseExposition(data []byte) (map[string]*ExpoFamily, error) {
+	families := make(map[string]*ExpoFamily)
+	var help map[string]string = make(map[string]string)
+	var current *ExpoFamily
+	for ln, line := range strings.Split(string(data), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := line[len("# HELP "):]
+			name, text, ok := strings.Cut(rest, " ")
+			if !ok || !ValidName(name) {
+				return nil, fmt.Errorf("line %d: malformed HELP line %q", lineNo, line)
+			}
+			if _, dup := help[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			help[name] = unescapeHelp(text)
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# TYPE "):]
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok || !ValidName(name) {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			if kind != kindCounter && kind != kindGauge && kind != kindHistogram {
+				return nil, fmt.Errorf("line %d: unknown metric type %q for %s", lineNo, kind, name)
+			}
+			h, ok := help[name]
+			if !ok {
+				return nil, fmt.Errorf("line %d: TYPE for %s without a preceding HELP", lineNo, name)
+			}
+			if _, dup := families[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+			}
+			current = &ExpoFamily{Name: name, Help: h, Type: kind}
+			families[name] = current
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // a plain comment is legal
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		fam := familyFor(families, s.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("line %d: sample %s without a preceding HELP/TYPE declaration", lineNo, s.Name)
+		}
+		if current == nil || fam != current {
+			return nil, fmt.Errorf("line %d: sample %s outside its family's block (interleaved families)", lineNo, s.Name)
+		}
+		fam.Samples = append(fam.Samples, s)
+	}
+	for _, fam := range families {
+		if len(fam.Samples) == 0 {
+			return nil, fmt.Errorf("family %s declares HELP/TYPE but has no samples", fam.Name)
+		}
+		if fam.Type == kindHistogram {
+			if err := checkHistogram(fam); err != nil {
+				return nil, err
+			}
+		} else {
+			for _, s := range fam.Samples {
+				if s.Name != fam.Name {
+					return nil, fmt.Errorf("family %s: unexpected sample name %s", fam.Name, s.Name)
+				}
+			}
+		}
+	}
+	return families, nil
+}
+
+// familyFor resolves a sample name to its declared family, stripping
+// histogram suffixes when the base name is a declared histogram.
+func familyFor(families map[string]*ExpoFamily, sample string) *ExpoFamily {
+	if f, ok := families[sample]; ok && f.Type != kindHistogram {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(sample, suffix); ok {
+			if f, ok := families[base]; ok && f.Type == kindHistogram {
+				return f
+			}
+		}
+	}
+	return nil
+}
+
+// parseSampleLine parses `name{label="value",...} value`.
+func parseSampleLine(line string) (ExpoSample, error) {
+	s := ExpoSample{Labels: map[string]string{}}
+	i := 0
+	for i < len(line) && line[i] != '{' && line[i] != ' ' {
+		i++
+	}
+	s.Name = line[:i]
+	if !ValidName(s.Name) {
+		return s, fmt.Errorf("invalid sample name %q", s.Name)
+	}
+	rest := line[i:]
+	if strings.HasPrefix(rest, "{") {
+		end, err := parseLabels(rest, s.Labels)
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		rest = rest[end:]
+	}
+	if !strings.HasPrefix(rest, " ") {
+		return s, fmt.Errorf("sample %s: missing value separator", s.Name)
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return s, fmt.Errorf("sample %s: bad value: %w", s.Name, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses `{name="value",...}` starting at rest[0] == '{',
+// returning the index one past the closing brace.
+func parseLabels(rest string, into map[string]string) (int, error) {
+	i := 1
+	for {
+		if i < len(rest) && rest[i] == '}' {
+			return i + 1, nil
+		}
+		j := i
+		for j < len(rest) && rest[j] != '=' {
+			j++
+		}
+		name := rest[i:j]
+		// le carries a float bound ("+Inf", "0.001"), every other label
+		// name must be snake_case like metric names.
+		if name != "le" && !ValidName(name) {
+			return 0, fmt.Errorf("invalid label name %q", name)
+		}
+		if j+1 >= len(rest) || rest[j+1] != '"' {
+			return 0, fmt.Errorf("label %s: missing opening quote", name)
+		}
+		val, next, err := parseQuoted(rest, j+1)
+		if err != nil {
+			return 0, fmt.Errorf("label %s: %w", name, err)
+		}
+		if _, dup := into[name]; dup {
+			return 0, fmt.Errorf("duplicate label %s", name)
+		}
+		into[name] = val
+		i = next
+		switch {
+		case i < len(rest) && rest[i] == ',':
+			i++
+		case i < len(rest) && rest[i] == '}':
+			// loop terminates next iteration
+		default:
+			return 0, fmt.Errorf("label %s: expected ',' or '}' after value", name)
+		}
+	}
+}
+
+// parseQuoted reads a double-quoted label value with \\, \" and \n
+// escapes, starting at the opening quote; it returns the unescaped
+// value and the index one past the closing quote.
+func parseQuoted(s string, start int) (string, int, error) {
+	var b strings.Builder
+	i := start + 1
+	for i < len(s) {
+		switch c := s[i]; c {
+		case '"':
+			return b.String(), i + 1, nil
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("unknown escape \\%c", s[i+1])
+			}
+			i += 2
+		case '\n':
+			return "", 0, fmt.Errorf("unescaped newline in label value")
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// unescapeHelp reverses HELP-text escaping (\\ and \n).
+func unescapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+// checkHistogram validates one histogram family: per label set, le
+// bounds strictly increase, cumulative counts never decrease, the +Inf
+// bucket exists, and _count and _sum exist with _count equal to the
+// +Inf cumulative count.
+func checkHistogram(fam *ExpoFamily) error {
+	type series struct {
+		bounds   []float64
+		cumul    []float64
+		inf      float64
+		hasInf   bool
+		count    float64
+		hasCount bool
+		hasSum   bool
+	}
+	byKey := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		names := make([]string, 0, len(labels))
+		for n := range labels {
+			if n != "le" {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		var b strings.Builder
+		for _, n := range names {
+			b.WriteString(n)
+			b.WriteByte('=')
+			b.WriteString(labels[n])
+			b.WriteByte(';')
+		}
+		return b.String()
+	}
+	get := func(labels map[string]string) *series {
+		k := keyOf(labels)
+		s := byKey[k]
+		if s == nil {
+			s = &series{}
+			byKey[k] = s
+		}
+		return s
+	}
+	for _, s := range fam.Samples {
+		switch s.Name {
+		case fam.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %s: bucket sample without le label", fam.Name)
+			}
+			ser := get(s.Labels)
+			if le == "+Inf" {
+				ser.inf, ser.hasInf = s.Value, true
+				continue
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %s: bad le bound %q", fam.Name, le)
+			}
+			if ser.hasInf {
+				return fmt.Errorf("histogram %s: finite bucket le=%q after +Inf", fam.Name, le)
+			}
+			ser.bounds = append(ser.bounds, bound)
+			ser.cumul = append(ser.cumul, s.Value)
+		case fam.Name + "_sum":
+			get(s.Labels).hasSum = true
+		case fam.Name + "_count":
+			ser := get(s.Labels)
+			ser.count, ser.hasCount = s.Value, true
+		default:
+			return fmt.Errorf("histogram %s: unexpected sample name %s", fam.Name, s.Name)
+		}
+	}
+	for k, ser := range byKey {
+		if !ser.hasInf {
+			return fmt.Errorf("histogram %s{%s}: no +Inf bucket", fam.Name, k)
+		}
+		if !ser.hasCount || !ser.hasSum {
+			return fmt.Errorf("histogram %s{%s}: missing _sum or _count", fam.Name, k)
+		}
+		prev := math.Inf(-1)
+		prevCum := 0.0
+		for i, b := range ser.bounds {
+			if b <= prev {
+				return fmt.Errorf("histogram %s{%s}: le bounds not increasing at %v", fam.Name, k, b)
+			}
+			if ser.cumul[i] < prevCum {
+				return fmt.Errorf("histogram %s{%s}: cumulative count decreases at le=%v", fam.Name, k, b)
+			}
+			prev, prevCum = b, ser.cumul[i]
+		}
+		if ser.inf < prevCum {
+			return fmt.Errorf("histogram %s{%s}: +Inf count below last bucket", fam.Name, k)
+		}
+		if ser.inf != ser.count {
+			return fmt.Errorf("histogram %s{%s}: +Inf bucket %v != _count %v", fam.Name, k, ser.inf, ser.count)
+		}
+	}
+	return nil
+}

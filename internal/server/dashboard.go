@@ -1,0 +1,285 @@
+package server
+
+import (
+	"html/template"
+	"net/http"
+)
+
+// The embedded ops dashboard: GET /dashboard serves one self-contained
+// HTML page — no external assets, no script dependencies — that renders
+// the daemon's live state from the same public API clients use:
+// /v1/campaigns, /v1/cache and /v1/workers are polled every couple of
+// seconds for the stat tiles, campaign browser and fleet table, and the
+// campaigns' SSE event streams feed live interval-IPC sparklines. The
+// palette defines light and dark values for every color role as CSS
+// custom properties (the OS setting picks the mode), status is never
+// conveyed by color alone (icon + label ride along), and numeric table
+// columns use tabular figures so they align.
+
+var dashboardTmpl = template.Must(template.New("dashboard").Parse(dashboardHTML))
+
+// dashboardData parameterises the page: single-process daemons hide the
+// fleet section rather than polling an endpoint that 404s.
+type dashboardData struct {
+	Cluster bool
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_ = dashboardTmpl.Execute(w, dashboardData{Cluster: s.cluster != nil})
+}
+
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>mflushd — ops</title>
+<style>
+  :root {
+    color-scheme: light;
+    --page:           #f9f9f7;
+    --surface-1:      #fcfcfb;
+    --text-primary:   #0b0b0b;
+    --text-secondary: #52514e;
+    --text-muted:     #898781;
+    --gridline:       #e1e0d9;
+    --baseline:       #c3c2b7;
+    --border:         rgba(11,11,11,0.10);
+    --series-1:       #2a78d6;
+    --status-good:    #0ca30c;
+    --status-warning: #fab219;
+    --status-critical:#d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --page:           #0d0d0d;
+      --surface-1:      #1a1a19;
+      --text-primary:   #ffffff;
+      --text-secondary: #c3c2b7;
+      --text-muted:     #898781;
+      --gridline:       #2c2c2a;
+      --baseline:       #383835;
+      --border:         rgba(255,255,255,0.10);
+      --series-1:       #3987e5;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 20px; background: var(--page); color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  h1 { font-size: 18px; margin: 0; font-weight: 600; }
+  h2 { font-size: 13px; margin: 28px 0 10px; font-weight: 600; color: var(--text-secondary);
+       text-transform: uppercase; letter-spacing: 0.04em; }
+  header { display: flex; align-items: baseline; gap: 12px; }
+  header .sub { color: var(--text-muted); font-size: 12px; }
+  .status-chip { font-size: 12px; color: var(--text-secondary); }
+  .status-chip .icon { font-style: normal; }
+  .status-chip.good .icon { color: var(--status-good); }
+  .status-chip.critical .icon { color: var(--status-critical); }
+  .tiles { display: grid; grid-template-columns: repeat(auto-fill, minmax(150px, 1fr)); gap: 10px; margin-top: 16px; }
+  .tile { background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px; padding: 12px 14px; }
+  .tile .label { font-size: 12px; color: var(--text-secondary); }
+  .tile .value { font-size: 26px; font-weight: 600; margin-top: 2px; }
+  .tile .hint { font-size: 11px; color: var(--text-muted); margin-top: 2px; }
+  table { width: 100%; border-collapse: collapse; background: var(--surface-1);
+          border: 1px solid var(--border); border-radius: 8px; overflow: hidden; }
+  th, td { text-align: left; padding: 7px 12px; border-top: 1px solid var(--gridline); font-size: 13px; }
+  thead th { border-top: none; font-size: 11px; text-transform: uppercase; letter-spacing: 0.04em;
+             color: var(--text-muted); font-weight: 600; }
+  td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+  td .key { color: var(--text-muted); font-family: ui-monospace, monospace; font-size: 12px; }
+  .empty { color: var(--text-muted); padding: 14px; font-size: 13px; }
+  .sparks { display: grid; grid-template-columns: repeat(auto-fill, minmax(290px, 1fr)); gap: 10px; }
+  .spark { background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px; padding: 10px 12px; }
+  .spark .title { font-size: 12px; color: var(--text-secondary);
+                  white-space: nowrap; overflow: hidden; text-overflow: ellipsis; }
+  .spark .now { font-size: 16px; font-weight: 600; }
+  .spark .now small { font-size: 11px; font-weight: 400; color: var(--text-muted); }
+  .spark svg { display: block; width: 100%; height: 48px; margin-top: 4px; }
+  .spark polyline { fill: none; stroke: var(--series-1); stroke-width: 2; stroke-linejoin: round; }
+  .spark line.base { stroke: var(--baseline); stroke-width: 1; }
+  a { color: var(--series-1); text-decoration: none; }
+</style>
+</head>
+<body>
+<header>
+  <h1>mflushd</h1>
+  <span class="status-chip" id="health"><i class="icon">●</i> <span>connecting…</span></span>
+  <span class="sub"><a href="/metrics">/metrics</a></span>
+</header>
+
+<div class="tiles" id="tiles"></div>
+
+<h2>Live interval IPC</h2>
+<div class="sparks" id="sparks"><div class="empty">No sampled campaigns running. Submit a spec with an interval to see live series.</div></div>
+{{if .Cluster}}
+<h2>Worker fleet</h2>
+<div id="fleet"><div class="empty">Loading…</div></div>
+{{end}}
+<h2>Campaigns</h2>
+<div id="campaigns"><div class="empty">Loading…</div></div>
+
+<script>
+"use strict";
+const CLUSTER = {{if .Cluster}}true{{else}}false{{end}};
+const MAX_POINTS = 120;      // sparkline window
+const MAX_STREAMS = 8;       // EventSources held open at once
+const esByCampaign = new Map();   // campaign id -> EventSource
+const series = new Map();         // campaign id -> Map(job key -> {name, pts:[]})
+
+const esc = s => String(s).replace(/[&<>"]/g, ch => ({"&":"&amp;","<":"&lt;",">":"&gt;",'"':"&quot;"}[ch]));
+const fmt = n => n >= 100 ? n.toFixed(0) : n >= 1 ? n.toFixed(2) : n.toFixed(3);
+
+function tile(label, value, hint) {
+  return '<div class="tile"><div class="label">' + esc(label) + '</div>' +
+         '<div class="value">' + esc(value) + '</div>' +
+         (hint ? '<div class="hint">' + esc(hint) + '</div>' : '') + '</div>';
+}
+
+function statusChip(kind, label) {
+  // Status never rides on color alone: the icon glyph and the text
+  // label carry it too.
+  const icon = kind === 'good' ? '●' : kind === 'critical' ? '▲' : '○';
+  return '<span class="status-chip ' + kind + '"><i class="icon">' + icon + '</i> ' + esc(label) + '</span>';
+}
+
+async function getJSON(path) {
+  const resp = await fetch(path);
+  if (!resp.ok) throw new Error(path + ': ' + resp.status);
+  return resp.json();
+}
+
+function renderTiles(campaigns, cache, fleet) {
+  const running = campaigns.filter(c => c.state === 'running').length;
+  const parts = [
+    tile('Campaigns running', running, campaigns.length + ' in registry'),
+    tile('Cache entries', cache.entries, cache.hits + ' hits · ' + cache.misses + ' misses'),
+  ];
+  if (fleet) {
+    const cap = fleet.workers.reduce((a, w) => a + w.capacity, 0);
+    parts.push(tile('Fleet workers', fleet.workers.length, 'total capacity ' + cap));
+    parts.push(tile('Pending jobs', fleet.pending, fleet.requeues + ' requeues'));
+  }
+  document.getElementById('tiles').innerHTML = parts.join('');
+}
+
+function renderCampaigns(campaigns) {
+  const el = document.getElementById('campaigns');
+  if (!campaigns.length) { el.innerHTML = '<div class="empty">No campaigns submitted yet.</div>'; return; }
+  const rows = campaigns.slice().reverse().map(c => {
+    const chip = c.state === 'running' ? statusChip('good', 'running')
+               : c.state === 'done'    ? statusChip('good', 'done')
+               : c.state === 'failed'  ? statusChip('critical', 'failed')
+               : statusChip('neutral', c.state);
+    return '<tr><td><a href="/v1/campaigns/' + esc(c.id) + '">' + esc(c.id) + '</a></td>' +
+      '<td>' + chip + '</td>' +
+      '<td class="num">' + c.completed + ' / ' + c.jobs + '</td>' +
+      '<td class="num">' + c.cached + '</td>' +
+      '<td class="num">' + c.failed + '</td>' +
+      '<td>' + esc(new Date(c.created).toLocaleTimeString()) + '</td></tr>';
+  });
+  el.innerHTML = '<table><thead><tr><th>ID</th><th>State</th><th class="num">Jobs</th>' +
+    '<th class="num">Cached</th><th class="num">Failed</th><th>Created</th></tr></thead><tbody>' +
+    rows.join('') + '</tbody></table>';
+}
+
+function renderFleet(fleet) {
+  const el = document.getElementById('fleet');
+  if (!el) return;
+  if (!fleet || !fleet.workers.length) {
+    el.innerHTML = '<div class="empty">No live workers. Start mflushworker against this daemon.</div>';
+    return;
+  }
+  const now = Date.now();
+  const rows = fleet.workers.map(w => {
+    const ageS = (now - new Date(w.last_seen).getTime()) / 1000;
+    const live = ageS < 10 ? statusChip('good', 'live') : statusChip('critical', 'silent ' + ageS.toFixed(0) + 's');
+    return '<tr><td>' + esc(w.name) + ' <span class="key">' + esc(w.id) + '</span></td>' +
+      '<td>' + live + '</td>' +
+      '<td class="num">' + w.capacity + '</td>' +
+      '<td class="num">' + w.leased + '</td>' +
+      '<td class="num">' + (w.jobs_done || 0) + '</td>' +
+      '<td class="num">' + (w.cycles_per_sec ? Math.round(w.cycles_per_sec).toLocaleString() : '—') + '</td>' +
+      '<td><span class="key">' + esc(w.last_job_key ? w.last_job_key.slice(0, 12) : '—') + '</span></td></tr>';
+  });
+  el.innerHTML = '<table><thead><tr><th>Worker</th><th>Liveness</th><th class="num">Capacity</th>' +
+    '<th class="num">Leased</th><th class="num">Jobs done</th><th class="num">Cycles/s</th>' +
+    '<th>Last job</th></tr></thead><tbody>' + rows.join('') + '</tbody></table>';
+}
+
+function sparkSVG(pts) {
+  if (pts.length < 2) return '<svg viewBox="0 0 100 40" preserveAspectRatio="none"></svg>';
+  let min = Math.min(...pts), max = Math.max(...pts);
+  if (max - min < 1e-9) { max = min + 1; }
+  const coords = pts.map((v, i) =>
+    (i * 100 / (pts.length - 1)).toFixed(2) + ',' + (36 - (v - min) / (max - min) * 32).toFixed(2)
+  ).join(' ');
+  return '<svg viewBox="0 0 100 40" preserveAspectRatio="none">' +
+    '<line class="base" x1="0" y1="39" x2="100" y2="39"></line>' +
+    '<polyline points="' + coords + '"></polyline></svg>';
+}
+
+function renderSparks() {
+  const el = document.getElementById('sparks');
+  const cards = [];
+  for (const [cid, jobs] of series) {
+    for (const [key, s] of jobs) {
+      if (!s.pts.length) continue;
+      const last = s.pts[s.pts.length - 1];
+      cards.push('<div class="spark"><div class="title">' + esc(cid) + ' · ' + esc(s.name || key.slice(0, 12)) + '</div>' +
+        '<div class="now">' + fmt(last) + ' <small>interval IPC</small></div>' + sparkSVG(s.pts) + '</div>');
+    }
+  }
+  if (cards.length) el.innerHTML = cards.join('');
+}
+
+function follow(c) {
+  // One EventSource per running campaign feeds its sparklines from the
+  // daemon's live "sample" events.
+  if (esByCampaign.has(c.id) || esByCampaign.size >= MAX_STREAMS) return;
+  const es = new EventSource('/v1/campaigns/' + c.id + '/events');
+  esByCampaign.set(c.id, es);
+  series.set(c.id, series.get(c.id) || new Map());
+  es.addEventListener('sample', ev => {
+    const d = JSON.parse(ev.data);
+    const jobs = series.get(c.id);
+    let s = jobs.get(d.key);
+    if (!s) { s = { name: d.job, pts: [] }; jobs.set(d.key, s); }
+    s.pts.push(d.sample.interval_ipc);
+    if (s.pts.length > MAX_POINTS) s.pts.shift();
+  });
+  const closeOn = name => es.addEventListener(name, () => { es.close(); esByCampaign.delete(c.id); });
+  ['done', 'failed', 'canceled'].forEach(closeOn);
+  es.onerror = () => { es.close(); esByCampaign.delete(c.id); };
+}
+
+async function refresh() {
+  const health = document.getElementById('health');
+  try {
+    const [camps, cache, fleet] = await Promise.all([
+      getJSON('/v1/campaigns'),
+      getJSON('/v1/cache'),
+      CLUSTER ? getJSON('/v1/workers') : Promise.resolve(null),
+    ]);
+    if (fleet) fleet.workers = fleet.workers || [];
+    health.outerHTML = statusChip('good', 'healthy').replace('status-chip', 'status-chip" id="health');
+    const campaigns = camps.campaigns || [];
+    renderTiles(campaigns, cache, fleet);
+    renderCampaigns(campaigns);
+    renderFleet(fleet);
+    campaigns.filter(c => c.state === 'running').forEach(follow);
+  } catch (err) {
+    health.outerHTML = statusChip('critical', 'unreachable').replace('status-chip', 'status-chip" id="health');
+  }
+}
+
+refresh();
+setInterval(refresh, 2000);
+setInterval(renderSparks, 500);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"runtime"
+
+	"repro/internal/metrics"
+)
+
+// The daemon's observability surface. Every Server owns a
+// metrics.Registry served at GET /metrics in Prometheus text format;
+// point-in-time state (queue depth, campaign states, cache size) is
+// read at scrape time, event counters are bumped where the event
+// happens, and the per-campaign interval-IPC gauge mirrors the latest
+// live sample so a scraper sees what the SSE stream sees.
+//
+// Lock discipline mirrors internal/cluster: scrape-time functions may
+// take s.mu (and nest c.mu under it, the same order handleList uses),
+// while update paths under s.mu or a run's c.mu only touch lock-free
+// metric atomics — children are pre-resolved outside those locks.
+
+// serverMetrics bundles the handles the request paths update.
+type serverMetrics struct {
+	rejected    *metrics.Counter  // 429 responses
+	submitted   *metrics.Counter  // admitted campaigns
+	sseSubs     *metrics.Gauge    // open SSE event streams
+	campaignIPC *metrics.GaugeVec // latest interval IPC per running campaign
+}
+
+// Metrics returns the daemon's registry — the same families GET
+// /metrics serves — so embedding callers and tests can scrape without
+// HTTP.
+func (s *Server) Metrics() *metrics.Registry { return s.registry }
+
+// registerMetrics builds the registry and its server-level families.
+// Called once from New, before the coordinator adds the cluster
+// families and before the mux can serve a scrape.
+func (s *Server) registerMetrics() {
+	r := metrics.NewRegistry()
+	s.registry = r
+	s.m = serverMetrics{
+		rejected:    r.Counter("mflush_admission_rejected_total", "Campaign submissions rejected with 429 (queue full)."),
+		submitted:   r.Counter("mflush_campaigns_submitted_total", "Campaigns admitted."),
+		sseSubs:     r.Gauge("mflush_sse_subscribers", "Open campaign event streams (SSE)."),
+		campaignIPC: r.GaugeVec("mflush_campaign_interval_ipc", "Latest live interval IPC sample per running campaign.", "campaign"),
+	}
+	r.GaugeFunc("mflush_admission_queue_depth", "Jobs admitted but not yet finished (the backpressure quantity the 429 limit bounds).",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.queued)
+		})
+	states := r.GaugeFuncVec("mflush_campaigns", "Campaigns in the registry by lifecycle state.", "state")
+	for _, state := range []string{StateRunning, StateDone, StateFailed, StateCanceled} {
+		states.Bind(func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			n := 0
+			for _, c := range s.campaigns {
+				if c.status().State == state {
+					n++
+				}
+			}
+			return float64(n)
+		}, state)
+	}
+	r.CounterFunc("mflush_cache_hits_total", "Result-cache hits (store hits and single-flight joins).",
+		func() float64 { hits, _ := s.cache.Stats(); return float64(hits) })
+	r.CounterFunc("mflush_cache_misses_total", "Result-cache misses (fresh simulations).",
+		func() float64 { _, misses := s.cache.Stats(); return float64(misses) })
+	r.GaugeFunc("mflush_cache_entries", "Distinct results the cache can serve.",
+		func() float64 { return float64(s.cache.Len()) })
+	r.GaugeFunc("mflush_go_goroutines", "Goroutines in the daemon process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -79,6 +80,10 @@ type run struct {
 	// finished closes when the campaign reaches a terminal state; SSE
 	// handlers select on it so terminal events are never missed.
 	finished chan struct{}
+	// ipc, for sampled campaigns, is this run's pre-resolved
+	// mflush_campaign_interval_ipc series; onSample mirrors the latest
+	// interval IPC into it (nil — a no-op — when nothing is sampled).
+	ipc *metrics.Gauge
 
 	mu        sync.Mutex
 	state     string
@@ -147,6 +152,7 @@ type sampleEvent struct {
 // non-blocking, so a slow subscriber drops samples rather than stalling
 // the simulation.
 func (c *run) onSample(key string, p sim.SamplePoint) {
+	c.ipc.Set(p.IntervalIPC)
 	c.mu.Lock()
 	c.broadcastLocked(sseEvent{name: "sample", data: sampleEvent{
 		Job: c.jobNames[key], Key: key, Sample: p,

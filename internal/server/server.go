@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 )
 
@@ -74,6 +75,8 @@ type Server struct {
 	cluster      *cluster.Coordinator // nil: single-process mode
 	samples      *sampleHub           // live interval samples, keyed by job
 	mux          *http.ServeMux
+	registry     *metrics.Registry // /metrics families (server + cluster)
+	m            serverMetrics
 	maxQueued    int
 	maxCampaigns int
 
@@ -166,7 +169,15 @@ func New(cfg Config) *Server {
 		})
 		s.sched = campaign.NewShared(cfg.Workers)
 	}
+	// The registry needs the cache in place; the coordinator adds the
+	// fleet and WAL families when clustering.
+	s.registerMetrics()
+	if cfg.Cluster != nil {
+		cfg.Cluster.RegisterMetrics(s.registry)
+	}
 	s.mux = http.NewServeMux()
+	s.mux.Handle("GET /metrics", s.registry.Handler())
+	s.mux.HandleFunc("GET /dashboard", s.handleDashboard)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/campaigns", s.handleList)
@@ -310,6 +321,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		queued := s.queued
 		retry := s.retryAfterLocked(s.queued+len(charged)-s.maxQueued, time.Now())
 		s.mu.Unlock()
+		s.m.rejected.Inc()
 		w.Header().Set("Retry-After", strconv.Itoa(retry))
 		writeError(w, http.StatusTooManyRequests,
 			"queue full: %d jobs queued, %d requested, limit %d; retry later",
@@ -328,6 +340,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.evictLocked()
 	s.wg.Add(1)
 	s.mu.Unlock()
+	s.m.submitted.Inc()
 
 	go s.runCampaign(ctx, c)
 
@@ -345,6 +358,13 @@ func (s *Server) runCampaign(ctx context.Context, c *run) {
 	defer c.cancel() // release the context once settled
 	// Sampled jobs stream live interval points; route the ones belonging
 	// to this campaign into its SSE subscribers for as long as it runs.
+	// A sampled campaign also publishes its latest interval IPC as a
+	// labeled gauge; the child is resolved here, outside every lock the
+	// sample path holds, and its series leaves /metrics with the run.
+	if len(c.jobNames) > 0 {
+		c.ipc = s.m.campaignIPC.WithLabelValues(c.id)
+		defer s.m.campaignIPC.Delete(c.id)
+	}
 	unsubscribe := s.samples.subscribe(c.sampledKeys(), c.onSample)
 	defer unsubscribe()
 	records, err := s.sched.RunCached(ctx, c.jobs, s.cache, func(p campaign.Progress) {
@@ -532,6 +552,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	ch := c.subscribe()
 	defer c.unsubscribe(ch)
+	s.m.sseSubs.Inc()
+	defer s.m.sseSubs.Dec()
 
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")

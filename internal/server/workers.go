@@ -63,7 +63,8 @@ func (s *Server) handleWorkerLease(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	jobs, err := s.cluster.Lease(r.PathValue("id"), req.Max, time.Duration(req.WaitMS)*time.Millisecond)
+	jobs, err := s.cluster.Lease(r.PathValue("id"), req.Max, time.Duration(req.WaitMS)*time.Millisecond,
+		cluster.Liveness{LastJobKey: req.LastJobKey, JobsDone: req.JobsDone, CyclesPerSec: req.CyclesPerSec})
 	if err != nil {
 		writeClusterError(w, err)
 		return
