@@ -5,7 +5,7 @@ GO ?= go
 # The hot-path benchmarks benchcmp tracks, and where their runs live.
 # The metrics pair guards the observability overhead: per-sample updates
 # must stay allocation-free and a full /metrics scrape O(1)-alloc.
-BENCH_PATTERN := BenchmarkSimulatorThroughput|BenchmarkSingleCoreSim|BenchmarkMetricsUpdate|BenchmarkMetricsScrape
+BENCH_PATTERN := BenchmarkSimulatorThroughput|BenchmarkGangCyclesPerSec|BenchmarkSingleCoreSim|BenchmarkMetricsUpdate|BenchmarkMetricsScrape
 BENCH_BASELINE := bench/baseline.txt
 BENCH_CURRENT := bench/current.txt
 
@@ -30,6 +30,7 @@ racetest:
 fuzzsmoke:
 	$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime 10s ./internal/sim
 	$(GO) test -run '^$$' -fuzz FuzzReadSpec -fuzztime 10s ./internal/campaign
+	$(GO) test -run '^$$' -fuzz FuzzGangGrouping -fuzztime 10s ./internal/campaign
 	$(GO) test -run '^$$' -fuzz FuzzWALReplay -fuzztime 10s ./internal/cluster
 
 # Crash matrix: build the real mflushd with fault injection compiled in

@@ -213,6 +213,36 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(cycles*b.N)/b.Elapsed().Seconds(), "sim_cycles/s")
 }
 
+// BenchmarkGangCyclesPerSec measures aggregate gang throughput:
+// simulated cycles per wall-clock second summed over a width-4 policy
+// sweep (the four paper policies over one workload and seed) run as one
+// lockstep GangSession. Compare against BenchmarkSimulatorThroughput
+// × width for the solo aggregate: gang gains come from shared
+// instruction synthesis and prewarm planning on any machine, plus
+// member-parallel stepping when GOMAXPROCS allows.
+func BenchmarkGangCyclesPerSec(b *testing.B) {
+	w, _ := workload.ByName("8W3")
+	const cycles = 20000
+	policies := []sim.PolicySpec{sim.SpecICOUNT, sim.SpecFlushNS, sim.SpecFlushS(30), sim.SpecMFLUSH}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := make([]sim.Options, len(policies))
+		for m, p := range policies {
+			opts[m] = sim.Options{
+				Workload: w, Policy: p,
+				Cycles: cycles, Seed: uint64(i + 1),
+			}
+		}
+		if _, err := sim.RunGang(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	agg := float64(cycles) * float64(len(policies)) * float64(b.N)
+	b.ReportMetric(agg/b.Elapsed().Seconds(), "sim_cycles/s")
+	b.ReportMetric(float64(len(policies)), "gang_width")
+}
+
 // BenchmarkSingleCoreSim measures the single-core configuration.
 func BenchmarkSingleCoreSim(b *testing.B) {
 	w, _ := workload.ByName("2W1")

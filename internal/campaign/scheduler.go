@@ -36,6 +36,16 @@ type Scheduler struct {
 	// Runner executes one simulation; nil means sim.Run. Tests inject
 	// counting or failing runners here.
 	Runner func(sim.Options) (*sim.Result, error)
+	// GangWidth, when at least 2, batches gang-compatible pending jobs
+	// (equal Job.GangKey: one workload, window and machine point) into
+	// lockstep gangs of up to that many members, each executed by one
+	// GangRunner call. Ganging changes execution only: records, job keys
+	// and store contents are byte-identical to solo runs (test-enforced).
+	// Jobs with no compatible sibling still run, as width-1 groups
+	// through Runner.
+	GangWidth int
+	// GangRunner executes one lockstep batch; nil means sim.RunGang.
+	GangRunner func([]sim.Options) ([]*sim.Result, error)
 	// OnProgress, when set, is called serially after every job.
 	OnProgress func(Progress)
 
@@ -100,13 +110,9 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job, store *Store) ([]Record
 		pending = append(pending, i)
 	}
 
-	errs := runPool(ctx, workers, s.slots, len(jobs), pending, func(i int) error {
+	// complete books job i's finished simulation: record, store, report.
+	complete := func(i int, res *sim.Result) error {
 		j := jobs[i]
-		res, err := runner(j.Options())
-		if err != nil {
-			report(Progress{Job: j, Err: err})
-			return err
-		}
 		rec := NewRecord(j, res)
 		if store != nil {
 			if err := store.Append(rec); err != nil {
@@ -117,8 +123,103 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job, store *Store) ([]Record
 		records[i] = rec
 		report(Progress{Job: j})
 		return nil
+	}
+
+	if s.GangWidth >= 2 {
+		return records, s.runGanged(ctx, jobs, pending, workers, runner, complete, report)
+	}
+
+	errs := runPool(ctx, workers, s.slots, len(jobs), pending, func(i int) error {
+		j := jobs[i]
+		res, err := runner(j.Options())
+		if err != nil {
+			report(Progress{Job: j, Err: err})
+			return err
+		}
+		return complete(i, res)
 	})
 	return records, firstError(jobs, errs)
+}
+
+// runGanged executes the pending jobs as lockstep gang batches: the
+// GangWidth >= 2 arm of Run. The pool's unit of work becomes one gang
+// group instead of one job; group results are booked member by member
+// through the same completion path as solo runs, so records and stores
+// cannot differ between the modes. Width-1 groups (jobs with no
+// compatible sibling in this campaign) run through the solo Runner.
+func (s *Scheduler) runGanged(ctx context.Context, jobs []Job, pending []int,
+	workers int, runner func(sim.Options) (*sim.Result, error),
+	complete func(int, *sim.Result) error, report func(Progress)) error {
+
+	gangRun := s.GangRunner
+	if gangRun == nil {
+		gangRun = sim.RunGang
+	}
+	pendingJobs := make([]Job, len(pending))
+	for k, i := range pending {
+		pendingJobs[k] = jobs[i]
+	}
+	groups := GangGroups(pendingJobs, s.GangWidth)
+	groupIdx := make([]int, len(groups))
+	for g := range groupIdx {
+		groupIdx[g] = g
+	}
+	// jobErrs is written at distinct indices only (each job belongs to
+	// exactly one group) and read after the pool drains, so it needs no
+	// lock.
+	jobErrs := make([]error, len(jobs))
+	gerrs := runPool(ctx, workers, s.slots, len(groups), groupIdx, func(g int) error {
+		members := groups[g]
+		if len(members) == 1 {
+			i := pending[members[0]]
+			j := jobs[i]
+			res, err := runner(j.Options())
+			if err != nil {
+				jobErrs[i] = err
+				report(Progress{Job: j, Err: err})
+				return err
+			}
+			jobErrs[i] = complete(i, res)
+			return jobErrs[i]
+		}
+		opts := make([]sim.Options, len(members))
+		for k, pi := range members {
+			opts[k] = jobs[pending[pi]].Options()
+		}
+		results, err := gangRun(opts)
+		if err != nil {
+			// The lockstep failed before producing any member's result:
+			// the whole batch fails together.
+			for _, pi := range members {
+				i := pending[pi]
+				jobErrs[i] = err
+				report(Progress{Job: jobs[i], Err: err})
+			}
+			return err
+		}
+		var firstErr error
+		for k, pi := range members {
+			i := pending[pi]
+			if jobErrs[i] = complete(i, results[k]); jobErrs[i] != nil && firstErr == nil {
+				firstErr = jobErrs[i]
+			}
+		}
+		return firstErr
+	})
+	// Groups the cancelled pool never started record their error at the
+	// group level only; spread it over their members so firstError sees
+	// every unfinished job.
+	for g, err := range gerrs {
+		if err == nil {
+			continue
+		}
+		for _, pi := range groups[g] {
+			if i := pending[pi]; jobErrs[i] == nil {
+				jobErrs[i] = err
+			}
+		}
+	}
+	return firstError(jobs, jobErrs)
 }
 
 // RunCached executes jobs through cache, returning one record per job in

@@ -32,6 +32,15 @@ type Worker struct {
 	// Runner executes one simulation; nil means sim.Run. Tests inject
 	// counting or blocking runners.
 	Runner func(sim.Options) (*sim.Result, error)
+	// GangWidth, when at least 2, batches gang-compatible jobs from one
+	// lease (equal campaign GangKey: one workload, window and machine
+	// point) into lockstep gangs of up to that many members, executed by
+	// one GangRunner call on one goroutine. Records posted back are
+	// byte-identical to solo execution (test-enforced); ganging only
+	// changes how the leased work is scheduled locally.
+	GangWidth int
+	// GangRunner executes one lockstep batch; nil means sim.RunGang.
+	GangRunner func([]sim.Options) ([]*sim.Result, error)
 	// Client issues the HTTP calls; nil means http.DefaultClient.
 	Client *http.Client
 	// LeaseWait is the long-poll duration for an empty queue (<= 0: 2s).
@@ -223,6 +232,10 @@ func (w *Worker) Run(ctx context.Context) error {
 		_ = w.call(postCtx, "DELETE", "/v1/workers/"+id, nil, nil)
 		reregister(postCtx)
 	}
+	gangRunner := w.GangRunner
+	if gangRunner == nil {
+		gangRunner = sim.RunGang
+	}
 	start := func(wire campaign.WireJob) {
 		inflight++
 		w.m.inflight.Set(float64(inflight))
@@ -248,6 +261,75 @@ func (w *Worker) Run(ctx context.Context) error {
 				secs:   time.Since(began).Seconds(),
 			}
 		}()
+	}
+	// startGang launches one lockstep batch of pre-decoded jobs on one
+	// goroutine: one gang simulation, one posted outcome per member. The
+	// gang's wall-clock is shared by all members, so it is attributed
+	// evenly to keep the per-job rate metrics meaningful.
+	startGang := func(batch []campaign.WireJob, gjobs []campaign.Job) {
+		inflight += len(batch)
+		w.m.inflight.Set(float64(inflight))
+		go func() {
+			opts := make([]sim.Options, len(gjobs))
+			for k, j := range gjobs {
+				opts[k] = j.Options()
+			}
+			began := time.Now()
+			res, err := gangRunner(opts)
+			if err != nil {
+				// The lockstep failed before producing any member's
+				// result: the batch fails together.
+				for _, wire := range batch {
+					results <- outcome{fail: &JobFailure{Key: wire.Key, Error: err.Error()}, key: wire.Key}
+				}
+				return
+			}
+			secs := time.Since(began).Seconds() / float64(len(batch))
+			for k, j := range gjobs {
+				results <- outcome{
+					rec:    campaign.NewRecord(j, res[k]),
+					key:    batch[k].Key,
+					cycles: float64(j.Cycles + j.Warmup),
+					secs:   secs,
+				}
+			}
+		}()
+	}
+	// startBatch dispatches one lease's worth of jobs, gang-batching
+	// compatible ones when GangWidth allows. Wires that do not decode
+	// (or whose key does not round-trip) never join a gang: they go
+	// through the solo path, which produces the detailed failure.
+	startBatch := func(wires []campaign.WireJob) {
+		if w.GangWidth < 2 || len(wires) < 2 {
+			for _, wire := range wires {
+				start(wire)
+			}
+			return
+		}
+		var good []campaign.WireJob
+		var goodJobs []campaign.Job
+		for _, wire := range wires {
+			j, err := wire.Job()
+			if err != nil || j.Key() != wire.Key {
+				start(wire)
+				continue
+			}
+			good = append(good, wire)
+			goodJobs = append(goodJobs, j)
+		}
+		for _, group := range campaign.GangGroups(goodJobs, w.GangWidth) {
+			if len(group) == 1 {
+				start(good[group[0]])
+				continue
+			}
+			batch := make([]campaign.WireJob, len(group))
+			gjobs := make([]campaign.Job, len(group))
+			for k, gi := range group {
+				batch[k], gjobs[k] = good[gi], goodJobs[gi]
+			}
+			w.logf("gang of %d (%s ...)", len(batch), batch[0].Key)
+			startGang(batch, gjobs)
+		}
 	}
 	// finish books one completed outcome — liveness for the next
 	// heartbeat, the worker's own metrics — then ships it.
@@ -308,8 +390,8 @@ func (w *Worker) Run(ctx context.Context) error {
 			retry.reset()
 			for _, wire := range jobs {
 				w.logf("leased %s", wire.Key)
-				start(wire)
 			}
+			startBatch(jobs)
 			continue
 		}
 		// Full: wait for a completion, heartbeating so long simulations

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// gangClusterSpec expands to six jobs sharing one gang key (one
+// workload, one window; policies × seeds vary) — so a width-4 gang
+// worker that leases the whole queue at once must batch them [4, 2].
+const gangClusterSpec = `{"workloads":["2W1"],"policies":["ICOUNT","FLUSH-S30","MFLUSH"],"seeds":[1,2],"cycles":1500,"warmup":500}`
+
+// gateTransport holds every lease call (long-polls and heartbeats) until
+// the gate closes, while letting registration and result posts through —
+// so a test can fill the coordinator's queue before the worker's first
+// lease, making the lease batch (and therefore the gang grouping)
+// deterministic.
+type gateTransport struct {
+	gate chan struct{}
+	base http.RoundTripper
+}
+
+func (g *gateTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	if strings.HasSuffix(r.URL.Path, "/lease") {
+		<-g.gate
+	}
+	return g.base.RoundTrip(r)
+}
+
+// TestGangWorkerCacheByteIdenticalAcrossRestart is the gang/cluster
+// interplay acceptance test: a campaign executed by a gang-batching
+// fleet worker running the real simulator lands in the daemon's
+// content-addressed store byte-identical to solo local execution, and a
+// daemon restarted on that store serves the re-submitted campaign
+// entirely from cache — proving gang execution changes nothing the
+// cache layer can see.
+func TestGangWorkerCacheByteIdenticalAcrossRestart(t *testing.T) {
+	// Reference: the same jobs simulated solo (sim.Run) through the
+	// plain scheduler.
+	spec, err := campaign.ReadSpec(strings.NewReader(gangClusterSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := spec.Jobs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refStore, err := campaign.OpenStore(filepath.Join(t.TempDir(), "ref.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer refStore.Close()
+	refRecs, err := (&campaign.Scheduler{Workers: 2}).Run(context.Background(), jobs, refStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRec := make(map[string]string, len(refRecs))
+	for _, rec := range refRecs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRec[rec.Key] = string(b)
+	}
+
+	// --- Incarnation 1: daemon + gang worker simulating for real. ---
+	storePath := filepath.Join(t.TempDir(), "results.jsonl")
+	store1, err := campaign.OpenStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord1, err := cluster.OpenCoordinator(cluster.Config{
+		LeaseTTL: 10 * time.Second, StateDir: t.TempDir(), Persisted: persistedBy(store1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := New(Config{Store: store1, Runner: localRunnerMustNotRun(t), Cluster: coord1})
+	ts1 := httptest.NewServer(srv1)
+
+	var mu sync.Mutex
+	var batches []int
+	gate := &gateTransport{gate: make(chan struct{}), base: http.DefaultTransport}
+	w := &cluster.Worker{
+		Base: ts1.URL, Name: "gang-worker", Capacity: len(jobs), GangWidth: 4,
+		Runner: sim.Run,
+		GangRunner: func(opts []sim.Options) ([]*sim.Result, error) {
+			mu.Lock()
+			batches = append(batches, len(opts))
+			mu.Unlock()
+			return sim.RunGang(opts)
+		},
+		LeaseWait: 50 * time.Millisecond,
+		Client:    &http.Client{Transport: gate},
+	}
+	wctx, wcancel := context.WithCancel(context.Background())
+	wexited := make(chan struct{})
+	go func() {
+		defer close(wexited)
+		if err := w.Run(wctx); err != nil {
+			t.Errorf("gang worker: %v", err)
+		}
+	}()
+	waitFleet(t, coord1, 1)
+
+	// Queue the whole campaign before releasing the worker's first lease,
+	// so it leases all six jobs in one batch and the gang grouping is
+	// deterministic.
+	sub := postSpec(t, ts1, gangClusterSpec)
+	deadline := time.Now().Add(30 * time.Second)
+	for coord1.Pending() < len(jobs) {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue reached %d of %d jobs", coord1.Pending(), len(jobs))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate.gate)
+	if state := waitState(t, srv1, sub.ID); state != StateDone {
+		t.Fatalf("gang-executed campaign state %q", state)
+	}
+	var want map[string]string = map[string]string{}
+	for _, format := range []string{"json", "csv", "table", "rows"} {
+		_, body := fetch(t, ts1, sub.ResultURL+"?format="+format)
+		want[format] = string(body)
+	}
+
+	mu.Lock()
+	gotBatches := append([]int(nil), batches...)
+	mu.Unlock()
+	// The two batches run on concurrent goroutines, so only the batch
+	// sizes (not their recording order) are deterministic.
+	sort.Ints(gotBatches)
+	if len(gotBatches) != 2 || gotBatches[0] != 2 || gotBatches[1] != 4 {
+		t.Errorf("gang batches = %v, want sizes {2, 4} from one six-job lease at width 4", gotBatches)
+	}
+	for _, j := range jobs {
+		rec, ok := store1.Get(j.Key())
+		if !ok {
+			t.Fatalf("store is missing gang-executed record %s", j)
+		}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(b) != wantRec[j.Key()] {
+			t.Errorf("%s: gang-executed record differs from solo\n gang: %s\n solo: %s", j, b, wantRec[j.Key()])
+		}
+	}
+
+	// Graceful shutdown: worker drains, daemon closes cleanly.
+	wcancel()
+	<-wexited
+	drainCtx, cancelDrain := context.WithTimeout(context.Background(), 10*time.Second)
+	_ = srv1.Drain(drainCtx)
+	cancelDrain()
+	ts1.Close()
+	coord1.Close()
+	store1.Close()
+
+	// --- Incarnation 2: restart on the same store, no fleet. The
+	// re-submitted campaign must be served entirely from the cache the
+	// gang worker filled — no simulation anywhere. ---
+	store2, err := campaign.OpenStore(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	if store2.Len() != len(jobs) {
+		t.Fatalf("restarted store holds %d records, want %d", store2.Len(), len(jobs))
+	}
+	srv2 := New(Config{Store: store2, Runner: localRunnerMustNotRun(t)})
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+	sub2 := postSpec(t, ts2, gangClusterSpec)
+	if state := waitState(t, srv2, sub2.ID); state != StateDone {
+		t.Fatalf("cached re-submission state %q", state)
+	}
+	for format, ref := range want {
+		_, body := fetch(t, ts2, sub2.ResultURL+"?format="+format)
+		if string(body) != ref {
+			t.Errorf("%s aggregate differs across restart:\n%s\nvs\n%s", format, body, ref)
+		}
+	}
+}

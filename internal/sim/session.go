@@ -52,16 +52,22 @@ func Open(opt Options) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Session{opt: opt, chip: chip}
+	return &Session{opt: opt, chip: chip, mflush: mflushPolicies(chip)}, nil
+}
+
+// mflushPolicies returns the per-core MFLUSH policies, or nil when any
+// core runs a different policy — caching the type assertions so sample
+// refreshes never repeat them.
+func mflushPolicies(chip *cmp.Chip) []*core.MFLUSH {
+	var out []*core.MFLUSH
 	for _, c := range chip.Cores() {
 		mf, ok := c.Policy().(*core.MFLUSH)
 		if !ok {
-			s.mflush = nil
-			break
+			return nil
 		}
-		s.mflush = append(s.mflush, mf)
+		out = append(out, mf)
 	}
-	return s, nil
+	return out
 }
 
 // Step advances the simulation by n cycles, firing due probes after each
@@ -117,30 +123,39 @@ func (s *Session) Snapshot() *Sample {
 
 // refreshSample fills s.sample from the chip, reusing its slices.
 func (s *Session) refreshSample() {
-	s.chip.ReadTotals(&s.totals)
-	sm := &s.sample
-	sm.Cycle = s.chip.Now()
-	sm.MeasuredCycles = s.chip.Now() - s.measureStart
-	sm.resetGen = s.resetGen
-	sm.Committed = s.chip.AppendCommitted(sm.Committed[:0])
+	refreshSampleInto(&s.sample, &s.totals, s.chip, s.mflush, s.measureStart, s.resetGen)
+}
+
+// refreshSampleInto fills sm from the chip, reusing sm's slices and the
+// caller's totals scratch. It is the one sampling implementation shared
+// by Session and GangSession (one call per gang member, against that
+// member's own sample/totals pair, so concurrent members never share a
+// buffer).
+func refreshSampleInto(sm *Sample, totals *cmp.Totals, chip *cmp.Chip,
+	mflush []*core.MFLUSH, measureStart, resetGen uint64) {
+	chip.ReadTotals(totals)
+	sm.Cycle = chip.Now()
+	sm.MeasuredCycles = chip.Now() - measureStart
+	sm.resetGen = resetGen
+	sm.Committed = chip.AppendCommitted(sm.Committed[:0])
 	if sm.MeasuredCycles > 0 {
-		sm.IPC = float64(s.totals.Committed) / float64(sm.MeasuredCycles)
+		sm.IPC = float64(totals.Committed) / float64(sm.MeasuredCycles)
 	} else {
 		sm.IPC = 0
 	}
-	sm.Flushes = s.totals.Flushes
-	sm.FlushedInsts = s.totals.FlushedInsts
-	sm.WastedEnergy = s.totals.WastedEnergy
-	sm.L2Hits = s.totals.L2Hits
-	sm.L2Misses = s.totals.L2Misses
-	if len(s.mflush) == 0 {
+	sm.Flushes = totals.Flushes
+	sm.FlushedInsts = totals.FlushedInsts
+	sm.WastedEnergy = totals.WastedEnergy
+	sm.L2Hits = totals.L2Hits
+	sm.L2Misses = totals.L2Misses
+	if len(mflush) == 0 {
 		sm.MCReg = nil
 		return
 	}
 	if sm.MCReg == nil {
-		sm.MCReg = make([][]uint8, len(s.mflush))
+		sm.MCReg = make([][]uint8, len(mflush))
 	}
-	for i, mf := range s.mflush {
+	for i, mf := range mflush {
 		sm.MCReg[i] = mf.MCReg().AppendSnapshot(sm.MCReg[i][:0])
 	}
 }

@@ -270,6 +270,20 @@ func Run(opt Options) (*Result, error) {
 // measure the cycle loop (allocations, throughput) apart from
 // construction.
 func buildChip(opt Options) (*cmp.Chip, error) {
+	return buildChipShared(opt, nil)
+}
+
+// buildChipShared is buildChip with an optional gang-sharing context.
+// With a nil shared it is exactly the solo build. With one, the
+// immutable inputs every member would otherwise recompute are built once
+// and reused across the gang: workload profiles, the L2 prewarm fill
+// plan, and — the expensive one — the synthesised instruction streams,
+// which members consume through per-member cursors over one memoised
+// stream instead of each running its own generator. Sharing is keyed so
+// only members that would have produced bit-identical inputs share them,
+// which keeps every member's output bit-identical to a solo build
+// (test-enforced by simtest.DiffGang).
+func buildChipShared(opt Options, shared *gangShared) (*cmp.Chip, error) {
 	cores := opt.Cores
 	if cores == 0 {
 		if len(opt.ThreadTraces) > 0 {
@@ -301,7 +315,11 @@ func buildChip(opt Options) (*cmp.Chip, error) {
 		}
 	} else {
 		var err error
-		profiles, err = opt.Workload.Profiles()
+		if shared != nil {
+			profiles, err = shared.profilesFor(opt.Workload)
+		} else {
+			profiles, err = opt.Workload.Profiles()
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -334,7 +352,15 @@ func buildChip(opt Options) (*cmp.Chip, error) {
 				// exactly fill the machine).
 				prof := profiles[g%len(profiles)]
 				seed := opt.Seed*0x9E3779B97F4A7C15 + uint64(g)*0x1000193 + 1
-				src = synth.NewGenerator(prof, seed, base)
+				if shared != nil {
+					// Members whose thread would synthesise the exact
+					// same stream (same workload profile, generator
+					// seed and address base) read one memoised stream
+					// through private cursors.
+					src = shared.cursorFor(opt.Workload.Name, g%len(profiles), prof, seed, base)
+				} else {
+					src = synth.NewGenerator(prof, seed, base)
+				}
 			}
 			sources[c] = append(sources[c], src)
 			bases[c] = append(bases[c], base)
@@ -346,23 +372,31 @@ func buildChip(opt Options) (*cmp.Chip, error) {
 		return nil, err
 	}
 	if len(profiles) > 0 {
-		prewarmL2(chip, profiles, bases)
+		capBytes := uint64(2 * chip.Config().Mem.L2.SizeBytes)
+		line := uint64(chip.Config().Mem.L2.LineBytes)
+		var plan []uint64
+		if shared != nil {
+			plan = shared.prewarmFor(opt.Workload.Name, profiles, bases, capBytes, line)
+		} else {
+			plan = prewarmPlan(profiles, bases, capBytes, line)
+		}
+		applyPrewarm(chip, plan)
 	}
 	return chip, nil
 }
 
-// prewarmL2 functionally warms the shared L2 with each thread's data
-// footprint, interleaved across threads so each retains a proportional
-// share. The paper's 120M-cycle runs reach this steady state on their
-// own; our shorter windows would otherwise keep reporting virgin-page
-// cold misses that no real steady state contains. Footprints much larger
-// than the L2 are skipped: they churn the cache regardless, so prewarming
-// them would only distort LRU state.
-func prewarmL2(chip *cmp.Chip, profiles []synth.Profile, bases [][]uint64) {
-	l2 := chip.L2().Cache()
-	capBytes := uint64(2 * chip.Config().Mem.L2.SizeBytes)
-	line := uint64(chip.Config().Mem.L2.LineBytes)
-
+// prewarmPlan computes the functional L2 prewarm fill sequence for each
+// thread's data footprint, interleaved across threads so each retains a
+// proportional share. The paper's 120M-cycle runs reach this steady
+// state on their own; our shorter windows would otherwise keep reporting
+// virgin-page cold misses that no real steady state contains. Footprints
+// much larger than the L2 are skipped: they churn the cache regardless,
+// so prewarming them would only distort LRU state.
+//
+// The plan depends only on immutable inputs (profiles, thread address
+// bases, L2 geometry), so a gang computes it once per distinct machine
+// shape and replays it into every member (applyPrewarm).
+func prewarmPlan(profiles []synth.Profile, bases [][]uint64, capBytes, line uint64) []uint64 {
 	type cursor struct {
 		next, end uint64
 	}
@@ -380,6 +414,7 @@ func prewarmL2(chip *cmp.Chip, profiles []synth.Profile, bases [][]uint64) {
 			cursors = append(cursors, cursor{next: dataBase, end: dataBase + prof.FootprintBytes})
 		}
 	}
+	var plan []uint64
 	for {
 		progressed := false
 		for i := range cursors {
@@ -387,13 +422,21 @@ func prewarmL2(chip *cmp.Chip, profiles []synth.Profile, bases [][]uint64) {
 			if cu.next >= cu.end {
 				continue
 			}
-			l2.Fill(cu.next)
+			plan = append(plan, cu.next)
 			cu.next += line
 			progressed = true
 		}
 		if !progressed {
-			return
+			return plan
 		}
+	}
+}
+
+// applyPrewarm replays a prewarm fill plan into one chip's L2.
+func applyPrewarm(chip *cmp.Chip, plan []uint64) {
+	l2 := chip.L2().Cache()
+	for _, addr := range plan {
+		l2.Fill(addr)
 	}
 }
 

@@ -1,7 +1,14 @@
-// Package simtest provides the fake simulator runner shared by the
-// campaign and server test suites: deterministic results without
-// simulating, per-job invocation counts, and hooks to hold runs in
-// flight or fail them. Production code must not import it.
+// Package simtest is the simulator's test harness toolkit, shared by
+// the sim, campaign and server test suites. It has two halves:
+//
+//   - Runner, a fake sim.Run: deterministic results without simulating,
+//     per-job invocation counts, and hooks to hold runs in flight or
+//     fail them.
+//   - DiffGang and Fingerprint (diff.go), the differential harness that
+//     proves a lockstep gang (sim.GangSession) is observationally
+//     bit-identical to solo sessions, localising the first divergence.
+//
+// Production code must not import it.
 package simtest
 
 import (
@@ -16,8 +23,9 @@ import (
 // Runner is an injectable sim.Run replacement. Configure Gate/Fail
 // before handing Run to a scheduler; Total/Max observe concurrently.
 type Runner struct {
-	mu    sync.Mutex
-	calls map[string]int
+	mu      sync.Mutex
+	calls   map[string]int
+	batches []int
 	// Gate, when non-nil, blocks every run until the channel closes —
 	// used to provably hold jobs in flight while callers pile up.
 	Gate chan struct{}
@@ -68,6 +76,36 @@ func (r *Runner) Run(o sim.Options) (*sim.Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// RunGang is the Runner's sim.RunGang analogue, for injection where a
+// scheduler or worker takes a GangRunner: each member counts as one Run
+// invocation (Gate/Fail included) and the batch size is recorded for
+// Batches.
+func (r *Runner) RunGang(opts []sim.Options) ([]*sim.Result, error) {
+	if len(opts) == 0 {
+		return nil, errors.New("simtest: empty gang")
+	}
+	r.mu.Lock()
+	r.batches = append(r.batches, len(opts))
+	r.mu.Unlock()
+	results := make([]*sim.Result, len(opts))
+	for i, o := range opts {
+		res, err := r.Run(o)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// Batches returns the size of every RunGang invocation so far, in call
+// order.
+func (r *Runner) Batches() []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]int(nil), r.batches...)
 }
 
 // Total returns the number of simulator invocations so far.

@@ -54,6 +54,11 @@ type SamplePoint = sim.SamplePoint
 // sim.Probe for the firing and no-mutation invariants.
 type Probe = sim.Probe
 
+// GangSession steps N variant simulations in lockstep over shared
+// immutable inputs, bit-identical to N solo Sessions. See
+// sim.GangSession.
+type GangSession = sim.GangSession
+
 // Recorder collects a probe's firings into a SamplePoint time series.
 // See sim.Recorder.
 type Recorder = sim.Recorder
@@ -100,6 +105,16 @@ func Run(opt Options) (*Result, error) { return sim.Run(opt) }
 // Open starts an incremental simulation session positioned at cycle
 // zero: the steppable, observable form of Run.
 func Open(opt Options) (*Session, error) { return sim.Open(opt) }
+
+// OpenGang starts a lockstep gang of sessions, one per Options, sharing
+// instruction streams and prewarm plans across members where the inputs
+// coincide. Results are bit-identical to opening each member solo.
+func OpenGang(opts []Options) (*GangSession, error) { return sim.OpenGang(opts) }
+
+// RunGang executes a gang to completion: warm-up, measurement reset and
+// cycle budget applied to all members in lockstep, returning one Result
+// per member — each bit-identical to what Run would have produced.
+func RunGang(opts []Options) ([]*Result, error) { return sim.RunGang(opts) }
 
 // Speedup returns a's throughput gain over b as a fraction.
 func Speedup(a, b *Result) float64 { return sim.Speedup(a, b) }
