@@ -1,6 +1,8 @@
-// Command tracegen synthesises a benchmark instruction trace and writes it
-// as a binary trace file, which the library can replay instead of
-// generating instructions on the fly (trace.ReadAll + trace.SliceSource).
+// Command tracegen is the legacy alias of cmd/mflushtrace: bench mode
+// with the historical defaults (single thread, MFTRACE1 output,
+// <bench>.trace default path). It shares mflushtrace's flags and its
+// atomic output discipline — a mid-write failure no longer leaves a
+// truncated .trace file behind.
 //
 // Usage:
 //
@@ -9,76 +11,11 @@
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
 
-	"repro/internal/isa"
-	"repro/internal/synth"
-	"repro/internal/trace"
+	"repro/internal/tracecli"
 )
 
 func main() {
-	bench := flag.String("bench", "", "benchmark name (see -list)")
-	n := flag.Int("n", 1_000_000, "number of instructions")
-	out := flag.String("o", "", "output file (default <bench>.trace)")
-	seed := flag.Uint64("seed", 1, "synthesis seed")
-	base := flag.Uint64("base", 1<<34, "address-space base for the instance")
-	list := flag.Bool("list", false, "list available benchmarks")
-	flag.Parse()
-
-	if *list {
-		fmt.Println("letter  name      class")
-		for _, p := range synth.Profiles() {
-			class := "compute-bound"
-			if p.MemBound() {
-				class = "memory-bound"
-			}
-			fmt.Printf("%c       %-9s %s\n", p.Letter, p.Name, class)
-		}
-		return
-	}
-
-	prof, ok := synth.ByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "tracegen: unknown benchmark %q (try -list)\n", *bench)
-		os.Exit(2)
-	}
-	if *n <= 0 {
-		fmt.Fprintln(os.Stderr, "tracegen: -n must be positive")
-		os.Exit(2)
-	}
-	path := *out
-	if path == "" {
-		path = prof.Name + ".trace"
-	}
-
-	f, err := os.Create(path)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
-	w, err := trace.NewWriter(f)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
-	g := synth.NewGenerator(prof, *seed, *base)
-	var in isa.Inst
-	for i := 0; i < *n; i++ {
-		g.Next(&in)
-		if err := w.Write(&in); err != nil {
-			fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	if err := w.Flush(); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
-	if err := f.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %d instructions of %s to %s\n", w.Count(), prof.Name, path)
+	os.Exit(tracecli.Main("tracegen", os.Args[1:], os.Stdout, os.Stderr))
 }

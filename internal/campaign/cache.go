@@ -196,7 +196,7 @@ func (c *Cache) compute(ctx context.Context, j Job, key string) (Record, error) 
 		rec = r
 		rec.Key = key // the store must index by this job's key, whatever the runner set
 	} else {
-		res, err := c.runner(j.Options())
+		res, err := runJob(c.runner, j)
 		if err != nil {
 			return Record{}, err
 		}

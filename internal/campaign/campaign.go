@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"repro/internal/config"
 	"repro/internal/sim"
@@ -121,7 +122,10 @@ func (tw Tweak) apply(c *config.Config) {
 // cycle budget. Specs are plain JSON so sweeps are written as data, not
 // Go (see CAMPAIGNS.md for the format).
 type Spec struct {
-	// Workloads are paper workload names (2W1 .. 8W5, 8W-bzip2-twolf).
+	// Workloads are paper workload names (2W1 .. 8W5, 8W-bzip2-twolf)
+	// and/or scenario trace files ("trace:PATH" — see TracePrefix).
+	// Trace entries resolve at expansion time to the file's content
+	// digest, which is what their job keys hash.
 	Workloads []string `json:"workloads"`
 	// Policies are parsed with sim.ParseSpec (ICOUNT, FLUSH-S30, ...).
 	Policies []string `json:"policies"`
@@ -185,8 +189,28 @@ func (s Spec) Jobs() ([]Job, error) {
 	// deflating the confidence intervals. Fail loudly instead, comparing
 	// canonical forms ("icount" duplicates "ICOUNT").
 	dup := make(map[string]bool)
-	workloads := make([]workload.Workload, len(s.Workloads))
+	type wlEntry struct {
+		w  workload.Workload
+		tr *TraceRef
+	}
+	workloads := make([]wlEntry, len(s.Workloads))
 	for i, name := range s.Workloads {
+		if strings.HasPrefix(name, TracePrefix) {
+			ref, err := ResolveTrace(name)
+			if err != nil {
+				return nil, err
+			}
+			// Two paths with identical bytes are one workload: their
+			// jobs would share keys (content-addressed), so admitting
+			// both would double-count like any duplicate axis entry.
+			id := TracePrefix + ref.Digest
+			if dup[id] {
+				return nil, fmt.Errorf("campaign: trace %q duplicates another trace entry's content", name)
+			}
+			dup[id] = true
+			workloads[i] = wlEntry{tr: ref}
+			continue
+		}
 		w, ok := workload.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("campaign: unknown workload %q", name)
@@ -195,7 +219,7 @@ func (s Spec) Jobs() ([]Job, error) {
 			return nil, fmt.Errorf("campaign: duplicate workload %q", name)
 		}
 		dup[w.Name] = true
-		workloads[i] = w
+		workloads[i] = wlEntry{w: w}
 	}
 	clear(dup)
 	policies := make([]sim.PolicySpec, len(s.Policies))
@@ -244,7 +268,7 @@ func (s Spec) Jobs() ([]Job, error) {
 			for _, tw := range tweaks {
 				for _, seed := range seeds {
 					jobs = append(jobs, Job{
-						Workload: w, Policy: p, Tweak: tw, Seed: seed,
+						Workload: w.w, Trace: w.tr, Policy: p, Tweak: tw, Seed: seed,
 						Cycles: s.Cycles, Warmup: s.Warmup, Interval: s.Interval,
 					})
 				}
@@ -256,8 +280,12 @@ func (s Spec) Jobs() ([]Job, error) {
 
 // Job is one fully specified simulation of a campaign.
 type Job struct {
-	// Workload selects the benchmark mix.
+	// Workload selects the benchmark mix. Zero when Trace is set.
 	Workload workload.Workload
+	// Trace, when non-nil, makes this a trace-replay job: the scenario
+	// file it references is loaded into sim.Options.ThreadTraces and
+	// Workload is ignored. Trace jobs key on the file's content digest.
+	Trace *TraceRef
 	// Policy is the IFetch policy under evaluation.
 	Policy sim.PolicySpec
 	// Tweak is the machine point (zero: the paper's baseline).
@@ -281,7 +309,7 @@ type Job struct {
 // keeping every pre-interval store entry addressable.
 func (j Job) Key() string {
 	material := fmt.Sprintf("w=%s p=%s seed=%d cycles=%d warmup=%d %s",
-		j.Workload.Name, j.Policy, j.Seed, j.Cycles, j.Warmup, j.Tweak.canon())
+		j.workloadID(), j.Policy, j.Seed, j.Cycles, j.Warmup, j.Tweak.canon())
 	if j.Interval > 0 {
 		material += fmt.Sprintf(" interval=%d", j.Interval)
 	}
@@ -289,8 +317,25 @@ func (j Job) Key() string {
 	return hex.EncodeToString(h[:16])
 }
 
-// Options builds the sim.Options that execute the job.
+// workloadID is the key-material identity of the job's workload axis:
+// the workload name, or "trace:" plus the content digest for trace
+// jobs. No paper workload name contains a colon, so the two spaces can
+// never collide — and since synthetic material is unchanged, every
+// pre-trace store stays addressable (frozen-key test).
+func (j Job) workloadID() string {
+	if j.Trace != nil {
+		return TracePrefix + j.Trace.Digest
+	}
+	return j.Workload.Name
+}
+
+// Options builds the sim.Options that execute a synthetic-workload job.
+// It cannot load trace files (no error path), so it panics on trace
+// jobs; execution paths go through SimOptions, which handles both.
 func (j Job) Options() sim.Options {
+	if j.Trace != nil {
+		panic("campaign: Options on a trace job; use SimOptions")
+	}
 	o := sim.Options{
 		Workload: j.Workload, Policy: j.Policy, Seed: j.Seed,
 		Cycles: j.Cycles, Warmup: j.Warmup, Interval: j.Interval,
@@ -300,6 +345,34 @@ func (j Job) Options() sim.Options {
 		o.Tweak = tw.apply
 	}
 	return o
+}
+
+// SimOptions builds the sim.Options that execute the job. For trace
+// jobs this loads the referenced scenario file (memoised per digest),
+// verifying its content digest first — a worker whose copy of the file
+// drifted from the coordinator's fails here instead of simulating the
+// wrong scenario under the right key.
+func (j Job) SimOptions() (sim.Options, error) {
+	if j.Trace == nil {
+		return j.Options(), nil
+	}
+	if err := j.Trace.validate(); err != nil {
+		return sim.Options{}, err
+	}
+	threads, err := j.Trace.load()
+	if err != nil {
+		return sim.Options{}, err
+	}
+	o := sim.Options{
+		Name: j.Trace.Name, ThreadTraces: threads,
+		Policy: j.Policy, Seed: j.Seed,
+		Cycles: j.Cycles, Warmup: j.Warmup, Interval: j.Interval,
+	}
+	if !j.Tweak.IsZero() {
+		tw := j.Tweak
+		o.Tweak = tw.apply
+	}
+	return o, nil
 }
 
 // StreamSamples wires o (built from this job) to republish its live
@@ -318,7 +391,11 @@ func (j Job) StreamSamples(o *sim.Options, publish func(key string, p sim.Sample
 
 // String names the job for progress lines and errors.
 func (j Job) String() string {
-	s := fmt.Sprintf("%s/%s seed=%d", j.Workload.Name, j.Policy, j.Seed)
+	name := j.Workload.Name
+	if j.Trace != nil {
+		name = j.Trace.Name
+	}
+	s := fmt.Sprintf("%s/%s seed=%d", name, j.Policy, j.Seed)
 	if !j.Tweak.IsZero() || j.Tweak.Name != "" {
 		s += " [" + j.Tweak.Label() + "]"
 	}

@@ -15,10 +15,13 @@ import "fmt"
 // GangKey names the lockstep batch a job is compatible with. Jobs with
 // equal gang keys may run as members of one GangSession; the key spans
 // everything members must share (window, workload, machine point) and
-// deliberately omits what they may vary (policy, seed).
+// deliberately omits what they may vary (policy, seed). Trace jobs key
+// on their content digest (Job.workloadID), so they batch only with
+// replays of the byte-identical scenario — never with synthetic jobs,
+// whose stream-memoisation keys a trace replay has no part in.
 func (j Job) GangKey() string {
 	return fmt.Sprintf("w=%s cycles=%d warmup=%d interval=%d %s",
-		j.Workload.Name, j.Cycles, j.Warmup, j.Interval, j.Tweak.canon())
+		j.workloadID(), j.Cycles, j.Warmup, j.Interval, j.Tweak.canon())
 }
 
 // GangGroups partitions the jobs into execution groups of at most width

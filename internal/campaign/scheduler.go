@@ -131,7 +131,7 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job, store *Store) ([]Record
 
 	errs := runPool(ctx, workers, s.slots, len(jobs), pending, func(i int) error {
 		j := jobs[i]
-		res, err := runner(j.Options())
+		res, err := runJob(runner, j)
 		if err != nil {
 			report(Progress{Job: j, Err: err})
 			return err
@@ -139,6 +139,18 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job, store *Store) ([]Record
 		return complete(i, res)
 	})
 	return records, firstError(jobs, errs)
+}
+
+// runJob resolves the job's executable options — which loads and
+// digest-verifies the scenario file for trace jobs — and runs it.
+// Every solo execution path goes through here so a trace job's load
+// failure surfaces as that job's error, exactly like a sim failure.
+func runJob(runner func(sim.Options) (*sim.Result, error), j Job) (*sim.Result, error) {
+	o, err := j.SimOptions()
+	if err != nil {
+		return nil, err
+	}
+	return runner(o)
 }
 
 // runGanged executes the pending jobs as lockstep gang batches: the
@@ -173,7 +185,7 @@ func (s *Scheduler) runGanged(ctx context.Context, jobs []Job, pending []int,
 		if len(members) == 1 {
 			i := pending[members[0]]
 			j := jobs[i]
-			res, err := runner(j.Options())
+			res, err := runJob(runner, j)
 			if err != nil {
 				jobErrs[i] = err
 				report(Progress{Job: j, Err: err})
@@ -184,7 +196,19 @@ func (s *Scheduler) runGanged(ctx context.Context, jobs []Job, pending []int,
 		}
 		opts := make([]sim.Options, len(members))
 		for k, pi := range members {
-			opts[k] = jobs[pending[pi]].Options()
+			o, err := jobs[pending[pi]].SimOptions()
+			if err != nil {
+				// Members share one GangKey, hence one trace file: a
+				// load failure fails the batch together, like a
+				// lockstep failure below.
+				for _, pj := range members {
+					i := pending[pj]
+					jobErrs[i] = err
+					report(Progress{Job: jobs[i], Err: err})
+				}
+				return err
+			}
+			opts[k] = o
 		}
 		results, err := gangRun(opts)
 		if err != nil {

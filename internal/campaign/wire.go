@@ -20,7 +20,13 @@ type WireJob struct {
 	// between coordinator and worker builds).
 	Key string `json:"key"`
 	// Workload is the paper workload name (resolved via workload.ByName).
-	Workload string `json:"workload"`
+	// Empty for trace jobs, which carry Trace instead.
+	Workload string `json:"workload,omitempty"`
+	// Trace, for trace-replay jobs, carries the scenario reference
+	// (path + content digest). The digest is part of the job key, so a
+	// worker that dropped or altered it fails the key check; the file
+	// content itself is re-verified against the digest at load time.
+	Trace *TraceRef `json:"trace,omitempty"`
 	// Policy is the policy name as PolicySpec.String renders it
 	// (re-parsed with sim.ParseSpec, which round-trips every spec).
 	Policy string `json:"policy"`
@@ -41,7 +47,7 @@ type WireJob struct {
 
 // Wire renders the job in its portable form, key included.
 func (j Job) Wire() WireJob {
-	return WireJob{
+	w := WireJob{
 		Key:      j.Key(),
 		Workload: j.Workload.Name,
 		Policy:   j.Policy.String(),
@@ -51,6 +57,12 @@ func (j Job) Wire() WireJob {
 		Warmup:   j.Warmup,
 		Interval: j.Interval,
 	}
+	if j.Trace != nil {
+		ref := *j.Trace
+		w.Trace = &ref
+		w.Workload = ""
+	}
+	return w
 }
 
 // Job resolves the wire form back into an executable Job. The workload
@@ -59,9 +71,26 @@ func (j Job) Wire() WireJob {
 // would be. It does not compare keys — callers that received w over the
 // network should check `w.Job().Key() == w.Key` before trusting it.
 func (w WireJob) Job() (Job, error) {
-	wl, ok := workload.ByName(w.Workload)
-	if !ok {
-		return Job{}, fmt.Errorf("campaign: unknown workload %q", w.Workload)
+	j := Job{
+		Tweak: w.Tweak, Seed: w.Seed,
+		Cycles: w.Cycles, Warmup: w.Warmup, Interval: w.Interval,
+	}
+	switch {
+	case w.Trace != nil:
+		if w.Workload != "" {
+			return Job{}, fmt.Errorf("campaign: wire job names both workload %q and a trace", w.Workload)
+		}
+		ref := *w.Trace
+		if err := ref.validate(); err != nil {
+			return Job{}, err
+		}
+		j.Trace = &ref
+	default:
+		wl, ok := workload.ByName(w.Workload)
+		if !ok {
+			return Job{}, fmt.Errorf("campaign: unknown workload %q", w.Workload)
+		}
+		j.Workload = wl
 	}
 	p, err := sim.ParseSpec(w.Policy)
 	if err != nil {
@@ -73,8 +102,6 @@ func (w WireJob) Job() (Job, error) {
 	if w.Cycles == 0 {
 		return Job{}, fmt.Errorf("campaign: wire job needs a positive cycle budget")
 	}
-	return Job{
-		Workload: wl, Policy: p, Tweak: w.Tweak, Seed: w.Seed,
-		Cycles: w.Cycles, Warmup: w.Warmup, Interval: w.Interval,
-	}, nil
+	j.Policy = p
+	return j, nil
 }

@@ -69,7 +69,10 @@ func (r *Router) Run(ctx context.Context, j campaign.Job) (campaign.Record, erro
 		return campaign.Record{}, ctx.Err()
 	}
 	defer func() { <-r.slots }()
-	o := j.Options()
+	o, err := j.SimOptions()
+	if err != nil {
+		return campaign.Record{}, err
+	}
 	j.StreamSamples(&o, r.OnSample)
 	res, err := r.local(o)
 	if err != nil {

@@ -248,8 +248,15 @@ func (w *Worker) Run(ctx context.Context) error {
 				results <- outcome{fail: &JobFailure{Key: wire.Key, Error: err.Error()}, key: wire.Key}
 				return
 			}
+			o, err := j.SimOptions()
+			if err != nil {
+				// A trace job whose file is missing or drifted on this
+				// worker's filesystem fails here, before simulating.
+				results <- outcome{fail: &JobFailure{Key: wire.Key, Error: err.Error()}, key: wire.Key}
+				return
+			}
 			began := time.Now()
-			res, err := runner(j.Options())
+			res, err := runner(o)
 			if err != nil {
 				results <- outcome{fail: &JobFailure{Key: wire.Key, Error: err.Error()}, key: wire.Key}
 				return
@@ -272,7 +279,16 @@ func (w *Worker) Run(ctx context.Context) error {
 		go func() {
 			opts := make([]sim.Options, len(gjobs))
 			for k, j := range gjobs {
-				opts[k] = j.Options()
+				o, err := j.SimOptions()
+				if err != nil {
+					// Members share one GangKey, hence one trace file:
+					// a load failure fails the batch together.
+					for _, wire := range batch {
+						results <- outcome{fail: &JobFailure{Key: wire.Key, Error: err.Error()}, key: wire.Key}
+					}
+					return
+				}
+				opts[k] = o
 			}
 			began := time.Now()
 			res, err := gangRunner(opts)

@@ -17,6 +17,7 @@ var documentedPackages = []string{
 	"internal/server",
 	"internal/campaign",
 	"internal/cluster",
+	"internal/trace",
 }
 
 // TestExportedIdentifiersDocumented parses each package (tests

@@ -123,6 +123,11 @@ type Inst struct {
 	Addr uint64
 	// Taken is the actual outcome for control instructions.
 	Taken bool
+	// MissLatency, when non-zero, overrides the configured main-memory
+	// latency (in cycles) for this instruction's L2 miss, should it miss.
+	// Scenario traces use it to model far-memory tails and latency
+	// phases; synthetic generators leave it zero.
+	MissLatency uint32
 	// Target is the actual target for taken control instructions.
 	Target uint64
 }

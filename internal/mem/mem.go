@@ -34,6 +34,10 @@ type Request struct {
 	Addr uint64
 	// IsInstr marks icache fills (vs dcache fills).
 	IsInstr bool
+	// MissLatency, when non-zero, overrides the configured main-memory
+	// latency for this request should it miss in L2 (per-instruction
+	// far-memory override carried in from the trace).
+	MissLatency uint32
 	// NoWake marks fire-and-forget requests (store-miss fills): the
 	// response fills the cache but wakes no instruction.
 	NoWake bool
@@ -96,6 +100,13 @@ type L2System struct {
 	memPending  fifoReq
 	memInFlight fifoTimed
 	memStarts   int
+	// memFar holds in-flight misses with a per-request MissLatency
+	// override. They cannot share memInFlight: that FIFO's drain peeks
+	// only the head, which is correct solely because fixed-latency
+	// completions are monotonic in start order. Overridden requests are
+	// scanned in insertion order instead, so completion handling stays
+	// deterministic.
+	memFar []timedReq
 
 	// missDetected accumulates requests whose L2 tag check missed this
 	// cycle — the non-speculative FLUSH Detection Moment signal.
@@ -178,6 +189,20 @@ func (s *L2System) Tick(now uint64) []*Request {
 		r := s.memInFlight.pop().req
 		s.banks[r.Bank].queue.push(bankOp{req: r, fill: true})
 	}
+	if len(s.memFar) > 0 {
+		kept := s.memFar[:0]
+		for _, t := range s.memFar {
+			if t.doneAt <= now {
+				s.banks[t.req.Bank].queue.push(bankOp{req: t.req, fill: true})
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		for i := len(kept); i < len(s.memFar); i++ {
+			s.memFar[i] = timedReq{}
+		}
+		s.memFar = kept
+	}
 
 	// 3. Banks: finish the in-service operation, then start the next.
 	for b := range s.banks {
@@ -217,7 +242,11 @@ func (s *L2System) Tick(now uint64) []*Request {
 	// 4. Main memory begins a bounded number of new services.
 	for i := 0; i < s.memStarts && s.memPending.len() > 0; i++ {
 		r := s.memPending.pop()
-		s.memInFlight.push(timedReq{req: r, doneAt: now + uint64(s.cfg.Mem.MainMemoryLatency)})
+		if r.MissLatency > 0 {
+			s.memFar = append(s.memFar, timedReq{req: r, doneAt: now + uint64(r.MissLatency)})
+		} else {
+			s.memInFlight.push(timedReq{req: r, doneAt: now + uint64(s.cfg.Mem.MainMemoryLatency)})
+		}
 		s.counters.Bump(cMemReads, 1)
 	}
 
@@ -251,7 +280,7 @@ func (s *L2System) DrainMissDetected() []*Request {
 // Drain reports whether any transaction is still in flight.
 func (s *L2System) Drain() bool {
 	if s.req.Pending() > 0 || s.resp.Pending() > 0 ||
-		s.memPending.len() > 0 || s.memInFlight.len() > 0 {
+		s.memPending.len() > 0 || s.memInFlight.len() > 0 || len(s.memFar) > 0 {
 		return true
 	}
 	for b := range s.banks {

@@ -457,6 +457,7 @@ func (c *Core) commitStore(u *UOp, now uint64) {
 	req.ThreadID = u.Tid
 	req.Addr = u.Inst.Addr
 	req.NoWake = true
+	req.MissLatency = u.Inst.MissLatency
 	req.IssuedAt = now
 	c.submitDelayed(req, now)
 }
@@ -651,6 +652,9 @@ func (c *Core) issueMem(u *UOp, now uint64) {
 		req.CoreID = c.ID
 		req.ThreadID = u.Tid
 		req.Addr = u.Inst.Addr
+		// On an MSHR merge the first requester's override governs the
+		// line's fill time; later merged loads simply ride its response.
+		req.MissLatency = u.Inst.MissLatency
 		req.IssuedAt = now
 		c.submitDelayed(req, now)
 	} else {

@@ -159,7 +159,10 @@ func New(cfg Config) *Server {
 			runner = sim.Run
 		}
 		s.cache = campaign.NewJobCache(cfg.Store, func(_ context.Context, j campaign.Job) (campaign.Record, error) {
-			o := j.Options()
+			o, err := j.SimOptions()
+			if err != nil {
+				return campaign.Record{}, err
+			}
 			j.StreamSamples(&o, s.samples.publish)
 			res, err := runner(o)
 			if err != nil {

@@ -287,7 +287,7 @@ func buildChipShared(opt Options, shared *gangShared) (*cmp.Chip, error) {
 	cores := opt.Cores
 	if cores == 0 {
 		if len(opt.ThreadTraces) > 0 {
-			cores = (len(opt.ThreadTraces) + 1) / 2
+			cores = replayCores(opt, len(opt.ThreadTraces))
 		} else {
 			cores = opt.Workload.Cores()
 		}
@@ -340,7 +340,7 @@ func buildChipShared(opt Options, shared *gangShared) (*cmp.Chip, error) {
 		policies[c] = p
 		for t := 0; t < threadsPerCore; t++ {
 			g := c*threadsPerCore + t
-			base := uint64(g+1) << 34
+			seed, base := ReplayStream(opt.Seed, g)
 			var src trace.Source
 			if len(opt.ThreadTraces) > 0 {
 				// Replay mode: threads beyond the supplied traces
@@ -351,7 +351,6 @@ func buildChipShared(opt Options, shared *gangShared) (*cmp.Chip, error) {
 				// (never happens for the paper's workloads, which
 				// exactly fill the machine).
 				prof := profiles[g%len(profiles)]
-				seed := opt.Seed*0x9E3779B97F4A7C15 + uint64(g)*0x1000193 + 1
 				if shared != nil {
 					// Members whose thread would synthesise the exact
 					// same stream (same workload profile, generator
@@ -383,6 +382,34 @@ func buildChipShared(opt Options, shared *gangShared) (*cmp.Chip, error) {
 		applyPrewarm(chip, plan)
 	}
 	return chip, nil
+}
+
+// ReplayStream returns the generator seed and address base thread g of a
+// run with synthesis seed seed draws its instruction stream from.
+// Exported so trace synthesizers (cmd/mflushtrace) can record streams
+// bit-identical to what a live run would synthesise for the same
+// (profile, seed, thread slot).
+func ReplayStream(seed uint64, g int) (streamSeed, addrBase uint64) {
+	return seed*0x9E3779B97F4A7C15 + uint64(g)*0x1000193 + 1, uint64(g+1) << 34
+}
+
+// replayCores derives the core count for a trace-replay run when
+// Options.Cores is unset: enough cores to give every trace a hardware
+// context. Threads-per-core is read from a tweaked probe config because
+// a Tweak may change it — deriving with the built-in default and
+// applying the tweak afterwards is the bug this function replaces. An
+// invalid tweaked value is left for cfg.Validate to reject; the probe
+// only needs to avoid dividing by zero.
+func replayCores(opt Options, nTraces int) int {
+	probe := config.Default(1)
+	if opt.Tweak != nil {
+		opt.Tweak(&probe)
+	}
+	tpc := probe.Core.ThreadsPerCore
+	if tpc < 1 {
+		tpc = 1
+	}
+	return (nTraces + tpc - 1) / tpc
 }
 
 // prewarmPlan computes the functional L2 prewarm fill sequence for each

@@ -39,7 +39,13 @@ func New() *Runner { return &Runner{calls: make(map[string]int)} }
 // Run counts the invocation, honours Gate/Fail, and returns a
 // deterministic fake result derived from the options.
 func (r *Runner) Run(o sim.Options) (*sim.Result, error) {
-	id := fmt.Sprintf("%s/%s/%d/%d", o.Workload.Name, o.Policy, o.Seed, o.Cycles)
+	// Name the result the way sim.Run does: the Name override wins, so
+	// trace-replay jobs (whose Workload is zero) stay distinguishable.
+	name := o.Name
+	if name == "" {
+		name = o.Workload.Name
+	}
+	id := fmt.Sprintf("%s/%s/%d/%d", name, o.Policy, o.Seed, o.Cycles)
 	r.mu.Lock()
 	r.calls[id]++
 	gate := r.Gate
@@ -51,7 +57,7 @@ func (r *Runner) Run(o sim.Options) (*sim.Result, error) {
 		return nil, errors.New("synthetic simulator failure")
 	}
 	res := &sim.Result{
-		Workload:   o.Workload.Name,
+		Workload:   name,
 		Policy:     o.Policy.String(),
 		Cycles:     o.Cycles,
 		IPC:        1.0 + float64(o.Seed)/10,

@@ -192,6 +192,7 @@ func (g *Generator) emitBody(b *block, out *isa.Inst) {
 	out.Taken = false
 	out.Target = 0
 	out.Addr = 0
+	out.MissLatency = 0
 
 	u := g.r.Float64()
 	switch {
@@ -275,6 +276,7 @@ func (g *Generator) emitTerminator(b *block, out *isa.Inst) {
 	g.emitted++
 	out.PC = b.start + uint64(b.length)*4
 	out.Addr = 0
+	out.MissLatency = 0
 	out.Dest = isa.InvalidReg
 	// Loop branches test induction variables, not just-loaded values:
 	// prefer a recent non-load producer so branch resolution is rarely

@@ -188,6 +188,7 @@ func (d *BBDict) InstAt(pc uint64, out *isa.Inst) {
 	out.PC = pc
 	out.Taken = false
 	out.Target = 0
+	out.MissLatency = 0
 	out.Dest = isa.Reg(1 + (h>>8)%62)
 	out.Src1 = isa.Reg(1 + (h>>16)%62)
 	out.Src2 = isa.Reg(1 + (h>>24)%62)
