@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test shorttest racetest vet bench bench-throughput benchbaseline benchcmp docscheck metricscheck fuzzsmoke crashtest
+.PHONY: build test shorttest racetest vet lint bench bench-throughput benchbaseline benchcmp docscheck metricscheck fuzzsmoke crashtest
 
 # The hot-path benchmarks benchcmp tracks, and where their runs live.
 # The metrics pair guards the observability overhead: per-sample updates
@@ -46,6 +46,14 @@ crashtest:
 
 vet:
 	$(GO) vet ./...
+
+# Project lint: the five custom analyzers (determinism, hotpath,
+# keyhash, lockorder, errwrap) plus the //mflush: annotation self-check,
+# with stock `go vet` folded in — so this is a superset of `make vet`
+# and the one lint entry point CI runs. See ARCHITECTURE.md "Static
+# analysis" for what each analyzer enforces.
+lint:
+	$(GO) run ./cmd/mflushvet ./...
 
 # Documentation checks: markdown links in README/CAMPAIGNS/ARCHITECTURE/
 # API resolve, and every exported identifier in internal/server and

@@ -1,0 +1,293 @@
+// Package analysis is the repository's static-analysis framework: a
+// self-contained, dependency-free reimplementation of the core shapes
+// of golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) plus
+// the `//mflush:` annotation vocabulary the mflushvet analyzers
+// machine-check. The x/tools module is deliberately not imported — the
+// repo builds offline with the standard library only — so the framework
+// carries its own driver (internal/analysis/driver) and testdata
+// harness (internal/analysis/analysistest).
+//
+// The five analyzers live in subpackages (determinism, hotpath,
+// keyhash, lockorder, errwrap); cmd/mflushvet runs them over ./...
+// together with the stock `go vet` passes. ARCHITECTURE.md's "Static
+// analysis" section documents each analyzer's invariant and the test
+// that previously guarded it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one static check: a name, a doc line, an optional
+// package/file matcher, and the Run function that inspects a
+// type-checked package and reports diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("determinism").
+	Name string
+	// Doc is a one-line description of the invariant enforced.
+	Doc string
+	// Match, when non-nil, restricts where the analyzer applies: it is
+	// called with the package import path and the base name of each
+	// file; files for which it returns false are invisible to Run (they
+	// are removed from Pass.Files). A package with no matching files is
+	// skipped entirely. The analysistest harness bypasses Match so
+	// testdata fixtures exercise the rules regardless of path.
+	Match func(pkgPath, filename string) bool
+	// Run inspects one package and reports findings via Pass.Reportf.
+	// A returned error aborts the whole run (driver failure, not a
+	// finding).
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed files (post-Match filtering).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+	// Facts is the module-wide annotation table (hot-path functions,
+	// keyed structs, guarded fields), shared by every pass.
+	Facts *Facts
+
+	report func(Diagnostic)
+	decls  map[*types.Func]*ast.FuncDecl
+	marks  map[*ast.File]map[int][]Mark
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Analyzer names the check that produced the finding.
+	Analyzer string
+	// Pos locates the finding.
+	Pos token.Position
+	// Message states the violation.
+	Message string
+}
+
+// String renders the diagnostic in file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Pos, d.Message, d.Analyzer)
+}
+
+// NewPass assembles a pass. The report callback receives diagnostics as
+// Reportf produces them; drivers collect, test harnesses match against
+// want-comments.
+func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *Facts, report func(Diagnostic)) *Pass {
+	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, Info: info, Facts: facts, report: report}
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// FuncDecls maps the package's function objects to their declarations,
+// built lazily — analyzers use it to chase same-package calls (keyhash
+// walks the key method's transitive body; lockorder finds functions
+// that acquire locks).
+func (p *Pass) FuncDecls() map[*types.Func]*ast.FuncDecl {
+	if p.decls != nil {
+		return p.decls
+	}
+	p.decls = make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				p.decls[obj] = fd
+			}
+		}
+	}
+	return p.decls
+}
+
+// Marks returns the statement-level `//mflush:` marks of file, indexed
+// by line. A statement is considered marked when a mark sits on its
+// first line or on the line immediately above (StmtMarked).
+func (p *Pass) Marks(file *ast.File) map[int][]Mark {
+	if p.marks == nil {
+		p.marks = make(map[*ast.File]map[int][]Mark)
+	}
+	if m, ok := p.marks[file]; ok {
+		return m
+	}
+	m := FileMarks(p.Fset, file)
+	p.marks[file] = m
+	return m
+}
+
+// StmtMarked reports whether the node carries the named mark: on the
+// node's first line, or alone on the line above it.
+func (p *Pass) StmtMarked(file *ast.File, n ast.Node, name string) bool {
+	marks := p.Marks(file)
+	line := p.Fset.Position(n.Pos()).Line
+	for _, mk := range marks[line] {
+		if mk.Name == name {
+			return true
+		}
+	}
+	for _, mk := range marks[line-1] {
+		if mk.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FileOf returns the *ast.File of the pass that contains pos.
+func (p *Pass) FileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// Callee resolves a call expression to the static *types.Func it
+// invokes, or nil for dynamic calls (function values), built-ins and
+// type conversions.
+func (p *Pass) Callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	if fn, ok := p.Info.Uses[id].(*types.Func); ok {
+		return fn
+	}
+	if fn, ok := p.Info.Defs[id].(*types.Func); ok {
+		return fn
+	}
+	return nil
+}
+
+// FuncID is the cross-package identity of a function or method:
+// "pkgpath.Name" for functions, "pkgpath.Recv.Name" for methods
+// (pointer receivers are spelled the same as value receivers, so an
+// annotation never depends on which form a call site resolves to).
+// Export-data-loaded and source-checked views of the same function get
+// equal IDs, which is what lets annotation facts cross package
+// boundaries.
+func FuncID(fn *types.Func) string {
+	if fn == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return TypeID(named.Obj()) + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Path() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// TypeID is the cross-package identity of a named type: "pkgpath.Name".
+func TypeID(obj *types.TypeName) string {
+	if obj.Pkg() != nil {
+		return obj.Pkg().Path() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// IsMutex reports whether t is (a pointer to) sync.Mutex or
+// sync.RWMutex.
+func IsMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// IsAtomicType reports whether t is a type from sync/atomic
+// (atomic.Uint64, atomic.Bool, ...).
+func IsAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// ExprString renders a (selector/ident/index) expression compactly for
+// diagnostics and lock identity — "r.mu", "f.fam.mu". Unrenderable
+// expressions come back empty.
+func ExprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := ExprString(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	}
+	return ""
+}
+
+// MatchPackages builds a Match function that accepts exactly the given
+// import paths (any file).
+func MatchPackages(paths ...string) func(pkgPath, filename string) bool {
+	set := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		set[p] = true
+	}
+	return func(pkgPath, _ string) bool { return set[pkgPath] }
+}
+
+// MatchFiles builds a Match function that accepts the named files of
+// one package (base names), in addition to any (path, file) pairs the
+// next matcher accepts. Chain as
+// MatchFiles("repro/internal/campaign", []string{"campaign.go"}, MatchPackages(...)).
+func MatchFiles(pkgPath string, files []string, next func(string, string) bool) func(pkgPath, filename string) bool {
+	set := make(map[string]bool, len(files))
+	for _, f := range files {
+		set[f] = true
+	}
+	return func(p, f string) bool {
+		if p == pkgPath {
+			return set[f]
+		}
+		if next != nil {
+			return next(p, f)
+		}
+		return false
+	}
+}

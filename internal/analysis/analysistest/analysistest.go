@@ -1,0 +1,218 @@
+// Package analysistest runs an analyzer over testdata fixture packages
+// and checks its diagnostics against `// want "regexp"` comments, in
+// the style of golang.org/x/tools/go/analysis/analysistest but built on
+// the repository's own offline driver. Fixtures live under
+// testdata/src/<pkg>/ (a path the go tool ignores, so fixture
+// violations never fail the real build or lint); their imports are
+// resolved through `go list -export` export data, exactly as the
+// mflushvet driver resolves module dependencies.
+//
+// Matching is strict in both directions: every diagnostic must be
+// claimed by a want comment on its line, and every want comment must be
+// claimed by a diagnostic — a rule that stops firing fails its test
+// rather than rotting silently. The analyzer's Match filter is
+// deliberately bypassed so fixtures exercise rules regardless of their
+// synthetic import paths.
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// Run checks one analyzer against the named fixture packages under
+// testdata/src. All packages are fact-scanned together before the
+// analyzer runs, so cross-fixture annotations behave as they do in the
+// real driver.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+
+	fset := token.NewFileSet()
+	type fixture struct {
+		path  string
+		files []*ast.File
+	}
+	var fixtures []fixture
+	imports := make(map[string]bool)
+
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("analysistest: %v", err)
+			}
+			files = append(files, f)
+			for _, imp := range f.Imports {
+				if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+					imports[p] = true
+				}
+			}
+		}
+		if len(files) == 0 {
+			t.Fatalf("analysistest: no Go files in %s", dir)
+		}
+		fixtures = append(fixtures, fixture{path: pkg, files: files})
+	}
+
+	imp := driver.ExportImporter(fset, exportData(t, imports))
+
+	facts := analysis.NewFacts()
+	type checked struct {
+		fixture
+		pkg  *types.Package
+		info *types.Info
+	}
+	var pkgsChecked []checked
+	for _, fx := range fixtures {
+		info := driver.NewInfo()
+		conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+		tpkg, err := conf.Check(fx.path, fset, fx.files, info)
+		if err != nil {
+			t.Fatalf("analysistest: type-checking %s: %v", fx.path, err)
+		}
+		facts.ScanFacts(fset, fx.files, info)
+		pkgsChecked = append(pkgsChecked, checked{fixture: fx, pkg: tpkg, info: info})
+	}
+
+	var diags []analysis.Diagnostic
+	for _, c := range pkgsChecked {
+		pass := analysis.NewPass(a, fset, c.files, c.pkg, c.info, facts, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, c.path, err)
+		}
+	}
+
+	var allFiles []*ast.File
+	for _, c := range pkgsChecked {
+		allFiles = append(allFiles, c.files...)
+	}
+	match(t, fset, allFiles, diags)
+}
+
+// match reconciles diagnostics with want comments, erroring on both
+// unexpected diagnostics and unsatisfied wants.
+func match(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[string][]*want) // "file:line" -> expectations
+	var all []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, w := range parseWants(t, fset, c) {
+					key := w.file + ":" + strconv.Itoa(w.line)
+					wants[key] = append(wants[key], w)
+					all = append(all, w)
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		key := d.Pos.Filename + ":" + strconv.Itoa(d.Pos.Line)
+		claimed := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range all {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic matched want %q", w.pos, w.re)
+		}
+	}
+}
+
+// exportData resolves the fixtures' imports to export-data files via
+// `go list -export`, run from the module root so repro/... paths
+// resolve alongside the standard library.
+func exportData(t *testing.T, imports map[string]bool) map[string]string {
+	t.Helper()
+	var paths []string
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	if len(paths) == 0 {
+		return nil
+	}
+	root, err := driver.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	exports, err := driver.ExportData(root, paths...)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	return exports
+}
+
+// want is one expectation parsed from a `// want "re"` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+	pos     token.Position
+}
+
+// parseWants extracts the expectations of one comment, if any. The
+// comment may be a plain `// want "re"`, or carry the expectation after
+// other content — `//mflush:keyed X // want "re"` — since annotation
+// diagnostics land on the annotation's own line.
+func parseWants(t *testing.T, fset *token.FileSet, c *ast.Comment) []*want {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	if !strings.HasPrefix(text, "want ") && text != "want" {
+		i := strings.Index(text, "// want")
+		if i < 0 {
+			return nil
+		}
+		text = strings.TrimSpace(text[i+2:])
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(text, "want"))
+	pos := fset.Position(c.Pos())
+	var out []*want
+	for rest != "" {
+		q, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			t.Fatalf("analysistest: %s: malformed want comment: %q", pos, rest)
+		}
+		lit, err := strconv.Unquote(q)
+		if err != nil {
+			t.Fatalf("analysistest: %s: %v", pos, err)
+		}
+		re, err := regexp.Compile(lit)
+		if err != nil {
+			t.Fatalf("analysistest: %s: bad want regexp: %v", pos, err)
+		}
+		out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, pos: pos})
+		rest = strings.TrimSpace(strings.TrimPrefix(rest, q))
+	}
+	return out
+}

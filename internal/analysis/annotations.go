@@ -1,0 +1,22 @@
+package analysis
+
+// Annotations is the self-check analyzer for the `//mflush:` vocabulary
+// itself: it reports every stray the fact scanner recorded — unknown
+// markers, and known markers attached to a node kind they do not bind
+// to (a //mflush:hotpath on a type, a //mflush:keyed-ignore in an
+// unkeyed struct). Without it, a misplaced annotation would silently
+// enforce nothing; with it, the annotation either binds or fails the
+// lint. Each pass reports only the strays positioned in its own files,
+// so diagnostics land in the package that owns the comment.
+var Annotations = &Analyzer{
+	Name: "annotations",
+	Doc:  "every //mflush: annotation must bind to a node the analyzers recognize",
+	Run: func(pass *Pass) error {
+		for _, s := range pass.Facts.Strays {
+			if pass.FileOf(s.Pos) != nil {
+				pass.Reportf(s.Pos, "%s", s.Message)
+			}
+		}
+		return nil
+	},
+}

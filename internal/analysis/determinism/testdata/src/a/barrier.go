@@ -1,0 +1,16 @@
+// This fixture file is the audited concurrency home: `go` statements
+// here are allowed.
+//
+//mflush:gang-barrier-file
+package a
+
+import "sync"
+
+func fanOut(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { wg.Done() }() // barrier file: no diagnostic
+	}
+	wg.Wait()
+}

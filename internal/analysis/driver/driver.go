@@ -1,0 +1,286 @@
+// Package driver loads and type-checks this module's packages for the
+// mflushvet analyzers, using only the standard library and the go
+// command. It shells out to `go list -export -e -json -deps`, which
+// yields every package in the dependency closure together with compiled
+// export data (built on demand into the build cache), then type-checks
+// each module package from source with a gc-export importer resolving
+// its imports. That is the same architecture as an x/tools "compiled"
+// analysis driver — no network, no third-party modules, and dependency
+// type information at export-data cost instead of source-checking the
+// whole standard library.
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+
+	"repro/internal/analysis"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	// PkgPath is the import path ("repro/internal/sim").
+	PkgPath string
+	// Dir is the package directory on disk.
+	Dir string
+	// Files are the parsed non-test Go files.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+}
+
+// Result is a loaded module: a shared FileSet and the module packages
+// in `go list` order (dependencies first).
+type Result struct {
+	// Fset positions every loaded file.
+	Fset *token.FileSet
+	// Pkgs are the module packages, dependencies first.
+	Pkgs []*Package
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	ForTest    string
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// goList runs `go list -export -e -json -deps` on patterns from dir.
+func goList(dir string, patterns []string) ([]byte, error) {
+	args := append([]string{"list", "-export", "-e", "-json", "-deps", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("driver: go list: %v\n%s", err, stderr.Bytes())
+	}
+	return out, nil
+}
+
+// ExportData resolves import paths (and their dependency closures) to
+// gc export-data files, for callers that type-check sources the go tool
+// does not know about — the analysistest fixtures. Packages the go tool
+// reports broken are skipped; the caller's type check surfaces any
+// import that truly cannot be resolved.
+func ExportData(dir string, paths ...string) (map[string]string, error) {
+	out, err := goList(dir, paths)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decoding go list output: %w", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// Load lists patterns from dir and type-checks every non-standard,
+// non-test package in the result.
+func Load(dir string, patterns ...string) (*Result, error) {
+	out, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string)
+	var mods []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("driver: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.DepsErrors) > 0 {
+			return nil, fmt.Errorf("driver: %s: %s", p.ImportPath, p.DepsErrors[0].Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.ForTest == "" {
+			mods = append(mods, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	res := &Result{Fset: fset}
+	for _, p := range mods {
+		pkg, err := check(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		res.Pkgs = append(res.Pkgs, pkg)
+	}
+	return res, nil
+}
+
+// ExportImporter returns a types.Importer resolving import paths
+// through gc export-data files (as produced by `go list -export`).
+// Shared with the analysistest harness, which mixes it with
+// source-loaded testdata packages.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("driver: no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// check parses and type-checks one package from source.
+func check(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("driver: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: imp, Sizes: types.SizesFor("gc", runtime.GOARCH)}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("driver: type-checking %s: %w", path, err)
+	}
+	return &Package{PkgPath: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// NewInfo allocates the types.Info map set the analyzers rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// Run scans annotations across every loaded package, then applies each
+// analyzer to the packages and files its Match admits. Include
+// analysis.Annotations in the list to fail the run on stray //mflush:
+// markers. Diagnostics come back sorted by position.
+func Run(res *Result, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
+	facts := analysis.NewFacts()
+	for _, p := range res.Pkgs {
+		facts.ScanFacts(res.Fset, p.Files, p.Info)
+	}
+
+	var diags []analysis.Diagnostic
+	for _, p := range res.Pkgs {
+		for _, a := range analyzers {
+			files := p.Files
+			if a.Match != nil {
+				files = nil
+				for _, f := range p.Files {
+					name := filepath.Base(res.Fset.Position(f.Pos()).Filename)
+					if a.Match(p.PkgPath, name) {
+						files = append(files, f)
+					}
+				}
+				if len(files) == 0 {
+					continue
+				}
+			}
+			pass := analysis.NewPass(a, res.Fset, files, p.Types, p.Info, facts, func(d analysis.Diagnostic) {
+				diags = append(diags, d)
+			})
+			if err := a.Run(pass); err != nil {
+				diags = append(diags, analysis.Diagnostic{
+					Analyzer: a.Name,
+					Message:  fmt.Sprintf("internal error: %v", err),
+				})
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags
+}
+
+// StockVet runs `go vet` (the stock passes) over patterns, streaming
+// its output to w. It reports ok=false when vet found problems and a
+// non-nil err only when vet itself could not run.
+func StockVet(dir string, w io.Writer, patterns ...string) (ok bool, err error) {
+	args := append([]string{"vet", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Stdout = w
+	cmd.Stderr = w
+	if err := cmd.Run(); err != nil {
+		if _, isExit := err.(*exec.ExitError); isExit {
+			return false, nil
+		}
+		return false, fmt.Errorf("driver: go vet: %w", err)
+	}
+	return true, nil
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("driver: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}

@@ -1,0 +1,228 @@
+// Package errwrap enforces the trace-parser and WAL-recovery error
+// contract: errors must keep their chain and their location. Concretely,
+// in internal/trace and the cluster WAL/recovery files:
+//
+//   - An error-typed argument to fmt.Errorf — or to a badAt/badf-style
+//     formatting constructor — must be formatted with %w. A %v or %s
+//     flattens the cause into text, and errors.Is(err, io.ErrUnexpectedEOF)
+//     or errors.Is(err, ErrBadTrace) downstream silently stops matching;
+//     the recovery path's truncation-tolerance decisions key off exactly
+//     those checks.
+//
+//   - In a package that declares a badAt offset-error constructor, a
+//     function that consumes an io.Reader must not build sentinel-wrapping
+//     errors with raw fmt.Errorf: parse errors are required to carry the
+//     byte offset of the corruption (mflushtrace surfaces it to the
+//     operator), and badAt is the only constructor that attaches one.
+//
+// The verb check needs a constant format string; calls whose format is
+// computed are skipped rather than guessed at, and indexed verbs
+// (%[1]v) bail out the same way.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// walFiles are the cluster files on the WAL append/recovery path; the
+// rest of the cluster package (scheduler, transport) is out of scope.
+var walFiles = []string{"wal.go", "recovery.go"}
+
+// Analyzer is the error-wrapping check for trace parsing and WAL
+// recovery code.
+var Analyzer = &analysis.Analyzer{
+	Name:  "errwrap",
+	Doc:   "error args to fmt.Errorf/badAt must use %w; parse errors in reader-consuming functions must carry a byte offset via badAt",
+	Match: analysis.MatchFiles("repro/internal/cluster", walFiles, analysis.MatchPackages("repro/internal/trace")),
+	Run:   run,
+}
+
+// errorType is the universe error interface.
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// readerType is io.Reader, built structurally so the check does not
+// depend on the package under analysis importing io.
+var readerType = func() *types.Interface {
+	read := types.NewFunc(token.NoPos, nil, "Read", types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", types.Universe.Lookup("error").Type())),
+		false))
+	iface := types.NewInterfaceType([]*types.Func{read}, nil)
+	iface.Complete()
+	return iface
+}()
+
+// constructorNames are the recognized offset-error constructors.
+var constructorNames = map[string]bool{"badAt": true, "badf": true}
+
+func run(pass *analysis.Pass) error {
+	hasBadAt := false
+	if pass.Pkg != nil {
+		_, hasBadAt = pass.Pkg.Scope().Lookup("badAt").(*types.Func)
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			inConstructor := constructorNames[fd.Name.Name]
+			wantOffset := hasBadAt && !inConstructor && consumesReader(fd, pass)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := pass.Callee(call)
+				if fn == nil {
+					return true
+				}
+				switch {
+				case fn.Pkg() != nil && fn.Pkg().Path() == "fmt" && fn.Name() == "Errorf":
+					checkVerbs(pass, call, fn)
+					if wantOffset && wrapsSentinel(pass, call) {
+						pass.Reportf(call.Pos(), "parse error built with fmt.Errorf in a reader-consuming function; use badAt(off, ...) so it carries the byte offset of the corruption")
+					}
+				case fn.Pkg() == pass.Pkg && constructorNames[fn.Name()]:
+					checkVerbs(pass, call, fn)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// consumesReader reports whether the function's receiver or any
+// parameter implements io.Reader — the heuristic for "this function
+// parses an input stream and knows byte offsets".
+func consumesReader(fd *ast.FuncDecl, pass *analysis.Pass) bool {
+	obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	if sig == nil {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil && types.Implements(recv.Type(), readerType) {
+		return true
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if types.Implements(sig.Params().At(i).Type(), readerType) {
+			return true
+		}
+	}
+	return false
+}
+
+// wrapsSentinel reports whether any call argument is a package-level
+// error variable (ErrBadTrace and friends).
+func wrapsSentinel(pass *analysis.Pass, call *ast.CallExpr) bool {
+	for _, arg := range call.Args {
+		id, ok := ast.Unparen(arg).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		v, ok := pass.Info.Uses[id].(*types.Var)
+		if !ok || v.Parent() != pass.Pkg.Scope() {
+			continue
+		}
+		if types.Implements(v.Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkVerbs maps the call's format verbs onto its variadic arguments
+// and reports error-typed arguments formatted with anything but %w.
+func checkVerbs(pass *analysis.Pass, call *ast.CallExpr, fn *types.Func) {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || !sig.Variadic() || sig.Params().Len() < 2 {
+		return
+	}
+	fi := sig.Params().Len() - 2
+	if fi >= len(call.Args) {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[fi]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	vs, ok := verbs(constant.StringVal(tv.Value))
+	if !ok {
+		return
+	}
+	for k, verb := range vs {
+		ai := fi + 1 + k
+		if ai >= len(call.Args) || verb == 'w' || verb == '*' {
+			continue
+		}
+		at, ok := pass.Info.Types[call.Args[ai]]
+		if !ok || at.Type == nil {
+			continue
+		}
+		if b, ok := at.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		if types.Implements(at.Type, errorType) {
+			pass.Reportf(call.Args[ai].Pos(), "error formatted with %%%c loses the cause chain; use %%w", verb)
+		}
+	}
+}
+
+// verbs extracts the argument-consuming verbs of a format string, in
+// order; a '*' width/precision consumes an argument and appears as '*'.
+// ok is false for indexed verbs (%[1]v), which this parser does not map.
+func verbs(format string) (out []byte, ok bool) {
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// flags
+		for i < len(format) {
+			switch format[i] {
+			case '+', '-', '#', ' ', '0':
+				i++
+				continue
+			}
+			break
+		}
+		// width and precision, each possibly '*'
+		for j := 0; j < 2; j++ {
+			if i < len(format) && format[i] == '*' {
+				out = append(out, '*')
+				i++
+			}
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+			if j == 0 && i < len(format) && format[i] == '.' {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		switch format[i] {
+		case '%':
+			continue
+		case '[':
+			return nil, false
+		default:
+			out = append(out, format[i])
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,77 @@
+// Package a exercises the errwrap analyzer: %v/%s on error args, and
+// sentinel-wrapping fmt.Errorf in reader-consuming functions that
+// should use the badAt offset-error constructor instead.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var ErrBad = errors.New("bad input")
+
+type offsetError struct {
+	off int64
+	err error
+}
+
+func (e *offsetError) Error() string { return fmt.Sprintf("offset %d: %v", e.off, e.err) }
+func (e *offsetError) Unwrap() error { return e.err }
+
+// badAt is the offset-error constructor; its own computed format string
+// is skipped by the verb check, and the constructor itself is exempt
+// from the offset rule.
+func badAt(off int64, format string, args ...any) error {
+	return &offsetError{off: off, err: fmt.Errorf("%w: "+format, append([]any{ErrBad}, args...)...)}
+}
+
+func flatten(err error) error {
+	return fmt.Errorf("reading header: %v", err) // want `error formatted with %v loses the cause chain; use %w`
+}
+
+func wrapOK(err error) error {
+	return fmt.Errorf("reading header: %w", err)
+}
+
+func badAtVerb(off int64, err error) error {
+	return badAt(off, "truncated: %s", err) // want `error formatted with %s loses the cause chain; use %w`
+}
+
+func badAtOK(off int64, err error) error {
+	return badAt(off, "truncated: %w", err)
+}
+
+func parse(r io.Reader) error {
+	var b [4]byte
+	if _, err := io.ReadFull(r, b[:]); err != nil {
+		return fmt.Errorf("%w: missing header", ErrBad) // want `parse error built with fmt.Errorf in a reader-consuming function; use badAt`
+	}
+	return badAt(0, "bad magic %q", b)
+}
+
+func parseNoSentinel(r io.Reader) error {
+	_ = r
+	return fmt.Errorf("unsupported version %d", 2) // no sentinel wrapped: fine
+}
+
+type reader struct{ off int64 }
+
+func (r *reader) Read(p []byte) (int, error) { return 0, io.EOF }
+
+// parseRecord consumes its receiver, which is itself an io.Reader.
+func (r *reader) parseRecord() error {
+	return fmt.Errorf("%w: truncated record", ErrBad) // want `parse error built with fmt.Errorf in a reader-consuming function`
+}
+
+func dynamicOK(err error, format string) error {
+	return fmt.Errorf(format, err) // computed format: skipped, not guessed at
+}
+
+func indexedOK(err error) error {
+	return fmt.Errorf("%[1]v", err) // indexed verbs: the parser bails out
+}
+
+func starVerb(err error, w int) error {
+	return fmt.Errorf("%*d: %s", w, 3, err) // want `error formatted with %s loses the cause chain; use %w`
+}

@@ -1,0 +1,391 @@
+// Package hotpath turns the repository's alloc-budget property — ~0
+// allocations per cycle on the simulator's Step path and the metrics
+// update path — into a compile-time check. Functions annotated
+// `//mflush:hotpath` must not contain allocating constructs (fmt calls,
+// runtime string concatenation, map/slice literals, variable-capturing
+// closures, interface boxing) and may only call other hot-path
+// functions, `//mflush:hotpath-ok` boundary functions, or a small
+// whitelist of known-allocation-free standard-library calls. Error and
+// crash branches that are taken at most once per failure — not per
+// cycle — can be exempted statement-by-statement with `//mflush:cold`;
+// panic calls are implicitly cold.
+//
+// The check is a lint, not a proof: calls through function values
+// (probe callbacks, OnSample hooks) cannot be resolved statically and
+// are the registrant's responsibility, exactly as the Probe contract in
+// internal/sim documents. The alloc-budget benchmarks remain the ground
+// truth; this analyzer catches the regressions before they reach a
+// benchmark run.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the hot-path allocation check. It matches every module
+// package — it only fires inside annotated functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "forbid allocating constructs and unaudited calls in //mflush:hotpath functions",
+	Run:  run,
+}
+
+// whitelistedCallee reports whether fn is a standard-library call known
+// not to allocate: sync/atomic operations, math and math/bits
+// arithmetic, and the sort.Search* binary searches.
+func whitelistedCallee(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "sync/atomic", "math", "math/bits":
+		return true
+	case "sort":
+		return strings.HasPrefix(fn.Name(), "Search")
+	}
+	return false
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+			if obj == nil || !pass.Facts.Hotpath[analysis.FuncID(obj)] {
+				continue
+			}
+			c := &checker{pass: pass, file: file, fn: obj}
+			c.stmts(fd.Body.List)
+		}
+	}
+	return nil
+}
+
+// checker walks one hot function's body, skipping //mflush:cold
+// statements and implicit-cold panic calls.
+type checker struct {
+	pass *analysis.Pass
+	file *ast.File
+	fn   *types.Func
+}
+
+func (c *checker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		c.stmt(s)
+	}
+}
+
+// stmt dispatches one statement, honouring cold marks before
+// descending.
+func (c *checker) stmt(s ast.Stmt) {
+	if s == nil {
+		return
+	}
+	if c.pass.StmtMarked(c.file, s, analysis.MarkCold) {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		c.stmts(s.List)
+	case *ast.IfStmt:
+		c.stmt(s.Init)
+		c.expr(s.Cond)
+		c.stmt(s.Body)
+		c.stmt(s.Else)
+	case *ast.ForStmt:
+		c.stmt(s.Init)
+		c.expr(s.Cond)
+		c.stmt(s.Post)
+		c.stmt(s.Body)
+	case *ast.RangeStmt:
+		c.expr(s.X)
+		c.stmt(s.Body)
+	case *ast.SwitchStmt:
+		c.stmt(s.Init)
+		c.expr(s.Tag)
+		c.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		c.stmt(s.Init)
+		c.stmt(s.Assign)
+		c.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			c.expr(e)
+		}
+		c.stmts(s.Body)
+	case *ast.SelectStmt:
+		c.stmt(s.Body)
+	case *ast.CommClause:
+		c.stmt(s.Comm)
+		c.stmts(s.Body)
+	case *ast.AssignStmt:
+		c.assign(s)
+	case *ast.ReturnStmt:
+		c.returnStmt(s)
+	case *ast.ExprStmt:
+		c.expr(s.X)
+	case *ast.DeferStmt:
+		c.expr(s.Call)
+	case *ast.GoStmt:
+		c.expr(s.Call)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						c.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X)
+	case *ast.SendStmt:
+		c.expr(s.Chan)
+		c.expr(s.Value)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt)
+	}
+}
+
+// expr walks one expression tree.
+func (c *checker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		c.call(e)
+	case *ast.BinaryExpr:
+		c.binary(e)
+		c.expr(e.X)
+		c.expr(e.Y)
+	case *ast.CompositeLit:
+		c.composite(e)
+	case *ast.FuncLit:
+		c.funcLit(e)
+	case *ast.ParenExpr:
+		c.expr(e.X)
+	case *ast.SelectorExpr:
+		c.expr(e.X)
+	case *ast.IndexExpr:
+		c.expr(e.X)
+		c.expr(e.Index)
+	case *ast.SliceExpr:
+		c.expr(e.X)
+		c.expr(e.Low)
+		c.expr(e.High)
+		c.expr(e.Max)
+	case *ast.StarExpr:
+		c.expr(e.X)
+	case *ast.UnaryExpr:
+		c.expr(e.X)
+	case *ast.TypeAssertExpr:
+		c.expr(e.X)
+	case *ast.KeyValueExpr:
+		c.expr(e.Key)
+		c.expr(e.Value)
+	}
+}
+
+// call checks one call: panic is implicitly cold; conversions are
+// checked for boxing; static callees must be hot, boundary or
+// whitelisted; arguments are checked for interface boxing.
+func (c *checker) call(call *ast.CallExpr) {
+	// panic(...) is a crash path: skip the whole subtree.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			return
+		}
+	}
+	// Type conversion T(x): boxing check only.
+	if tv, ok := c.pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			c.boxing(call.Args[0], tv.Type, "conversion")
+			c.expr(call.Args[0])
+		}
+		return
+	}
+
+	fn := c.pass.Callee(call)
+	switch {
+	case fn == nil:
+		// Built-in (append/len/copy/make/...) or a dynamic call through a
+		// function value: built-ins on preallocated buffers are the hot
+		// path's bread and butter, and dynamic callees are unresolvable —
+		// the registrant owns their cost (Probe contract).
+	case fn.Pkg() != nil && fn.Pkg().Path() == "fmt":
+		c.pass.Reportf(call.Pos(), "fmt.%s call in //mflush:hotpath function %s allocates; mark the branch //mflush:cold if it is a failure path", fn.Name(), c.fn.Name())
+	case c.pass.Facts.Hotpath[analysis.FuncID(fn)], c.pass.Facts.HotpathOK[analysis.FuncID(fn)], whitelistedCallee(fn):
+		// audited callee
+	default:
+		c.pass.Reportf(call.Pos(), "call to %s from //mflush:hotpath function %s: callee is neither //mflush:hotpath, //mflush:hotpath-ok nor whitelisted", analysis.FuncID(fn), c.fn.Name())
+	}
+
+	// Interface boxing at the call boundary.
+	if sig := c.signature(call); sig != nil {
+		c.callArgs(call, sig)
+	}
+	for _, a := range call.Args {
+		c.expr(a)
+	}
+	c.expr(call.Fun)
+}
+
+// signature resolves the call's signature, static or dynamic.
+func (c *checker) signature(call *ast.CallExpr) *types.Signature {
+	tv, ok := c.pass.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// callArgs flags concrete arguments passed to interface parameters.
+func (c *checker) callArgs(call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1:
+			pt = params.At(i).Type()
+		case sig.Variadic():
+			last := params.At(params.Len() - 1).Type()
+			if sl, ok := last.(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+			// f(xs...) passes the slice through unboxed.
+			if call.Ellipsis.IsValid() {
+				pt = nil
+			}
+		default:
+			if i < params.Len() {
+				pt = params.At(i).Type()
+			}
+		}
+		if pt != nil {
+			c.boxing(arg, pt, "argument")
+		}
+	}
+}
+
+// binary flags runtime string concatenation (constant folding is free).
+func (c *checker) binary(e *ast.BinaryExpr) {
+	if e.Op.String() != "+" {
+		return
+	}
+	tv, ok := c.pass.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+		c.pass.Reportf(e.Pos(), "string concatenation in //mflush:hotpath function %s allocates", c.fn.Name())
+	}
+}
+
+// composite flags map and slice literals (both allocate).
+func (c *checker) composite(lit *ast.CompositeLit) {
+	tv, ok := c.pass.Info.Types[lit]
+	if ok {
+		switch tv.Type.Underlying().(type) {
+		case *types.Map:
+			c.pass.Reportf(lit.Pos(), "map literal in //mflush:hotpath function %s allocates", c.fn.Name())
+		case *types.Slice:
+			c.pass.Reportf(lit.Pos(), "slice literal in //mflush:hotpath function %s allocates", c.fn.Name())
+		}
+	}
+	for _, el := range lit.Elts {
+		c.expr(el)
+	}
+}
+
+// funcLit flags closures that capture variables (those are heap
+// allocated at each evaluation).
+func (c *checker) funcLit(lit *ast.FuncLit) {
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := c.pass.Info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() {
+			return true
+		}
+		scope := obj.Parent()
+		if scope == nil || scope == types.Universe || (c.pass.Pkg != nil && scope == c.pass.Pkg.Scope()) {
+			return true // package-level or field: no capture cost
+		}
+		if obj.Pos() < lit.Pos() || obj.Pos() > lit.End() {
+			captured = obj.Name()
+		}
+		return true
+	})
+	if captured != "" {
+		c.pass.Reportf(lit.Pos(), "closure capturing %q in //mflush:hotpath function %s allocates", captured, c.fn.Name())
+	}
+}
+
+// assign flags concrete-to-interface assignments.
+func (c *checker) assign(s *ast.AssignStmt) {
+	if s.Tok.String() == "=" && len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			if lt, ok := c.pass.Info.Types[s.Lhs[i]]; ok {
+				c.boxing(s.Rhs[i], lt.Type, "assignment")
+			}
+		}
+	}
+	for _, e := range s.Rhs {
+		c.expr(e)
+	}
+	for _, e := range s.Lhs {
+		c.expr(e)
+	}
+}
+
+// returnStmt flags concrete values returned as interface results.
+func (c *checker) returnStmt(s *ast.ReturnStmt) {
+	sig, _ := c.fn.Type().(*types.Signature)
+	if sig != nil && sig.Results().Len() == len(s.Results) {
+		for i, r := range s.Results {
+			c.boxing(r, sig.Results().At(i).Type(), "return")
+		}
+	}
+	for _, r := range s.Results {
+		c.expr(r)
+	}
+}
+
+// boxing reports a concrete (non-interface, non-nil) value converted to
+// an interface type.
+func (c *checker) boxing(e ast.Expr, to types.Type, what string) {
+	if to == nil || !types.IsInterface(to) {
+		return
+	}
+	tv, ok := c.pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type) {
+		return
+	}
+	if b, ok := tv.Type.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	c.pass.Reportf(e.Pos(), "interface conversion (boxing) in %s in //mflush:hotpath function %s allocates", what, c.fn.Name())
+}

@@ -1,0 +1,102 @@
+// Package a exercises the hotpath analyzer: allocating constructs and
+// unaudited calls inside //mflush:hotpath functions.
+package a
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+var counter atomic.Uint64
+
+//mflush:hotpath
+func hotLeaf() {
+	counter.Add(1) // atomic: whitelisted
+}
+
+//mflush:hotpath-ok
+func boundary(v any) {}
+
+func plain() {}
+
+//mflush:hotpath
+func hotFmt(x int) {
+	fmt.Println(x) // want `fmt.Println call in //mflush:hotpath function hotFmt allocates` `interface conversion \(boxing\) in argument`
+}
+
+//mflush:hotpath
+func hotConcat(a, b string) string {
+	return a + b // want `string concatenation in //mflush:hotpath function hotConcat allocates`
+}
+
+//mflush:hotpath
+func hotConstConcat() string {
+	const p = "a"
+	return p + "b" // constant-folded: free
+}
+
+//mflush:hotpath
+func hotLits() {
+	_ = map[string]int{} // want `map literal in //mflush:hotpath function hotLits allocates`
+	_ = []int{1, 2}      // want `slice literal in //mflush:hotpath function hotLits allocates`
+}
+
+//mflush:hotpath
+func hotClosure(n int) func() int {
+	return func() int { return n } // want `closure capturing "n" in //mflush:hotpath function hotClosure allocates`
+}
+
+//mflush:hotpath
+func hotPureClosure() func(int) int {
+	return func(x int) int { return x * 2 } // no free variables: static
+}
+
+//mflush:hotpath
+func hotCalls(xs []int) {
+	hotLeaf()                  // hotpath callee: fine
+	boundary(nil)              // hotpath-ok callee: fine (nil boxes nothing)
+	_ = sort.SearchInts(xs, 0) // sort.Search*: whitelisted
+	plain()                    // want `call to a.plain from //mflush:hotpath function hotCalls`
+}
+
+//mflush:hotpath
+func hotBoxArg(v int) {
+	boundary(v) // want `interface conversion \(boxing\) in argument`
+}
+
+//mflush:hotpath
+func hotBoxAssign(v int) {
+	var x any
+	x = v // want `interface conversion \(boxing\) in assignment`
+	_ = x
+}
+
+//mflush:hotpath
+func hotBoxReturn(v int) any {
+	return v // want `interface conversion \(boxing\) in return`
+}
+
+//mflush:hotpath
+func hotCold(fail bool) {
+	if fail {
+		//mflush:cold
+		fmt.Println("failure path, taken once per failure")
+	}
+}
+
+//mflush:hotpath
+func hotPanic(bad bool) {
+	if bad {
+		panic(fmt.Sprintf("bad: %v", bad)) // crash path: exempt
+	}
+}
+
+//mflush:hotpath
+func hotAppend(dst []uint64, v uint64) []uint64 {
+	return append(dst, v) // builtins on amortized buffers: fine
+}
+
+func unchecked() {
+	fmt.Println("not hotpath: anything goes")
+}

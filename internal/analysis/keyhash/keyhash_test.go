@@ -1,0 +1,12 @@
+package keyhash_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/keyhash"
+)
+
+func TestKeyhash(t *testing.T) {
+	analysistest.Run(t, "testdata", keyhash.Analyzer, "a")
+}

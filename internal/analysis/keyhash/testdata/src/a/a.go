@@ -1,0 +1,57 @@
+// Package a exercises the keyhash analyzer: keyed structs whose fields
+// must be consumed by the named key methods, directly or via helpers.
+package a
+
+import "strconv"
+
+// Good's key covers one field directly and one through a helper.
+//
+//mflush:keyed Key
+type Good struct {
+	ID   uint64
+	Name string
+}
+
+func (g *Good) Key() string { return g.nameKey() + strconv.FormatUint(g.ID, 10) }
+
+func (g *Good) nameKey() string { return g.Name }
+
+// Bad has a field its key never reads.
+//
+//mflush:keyed Key
+type Bad struct {
+	ID    uint64
+	Extra string // want `field Extra of //mflush:keyed struct Bad is not consumed by Key`
+}
+
+func (b *Bad) Key() string { return strconv.FormatUint(b.ID, 10) }
+
+// Ignored opts its presentation-only field out explicitly.
+//
+//mflush:keyed Key
+type Ignored struct {
+	ID uint64
+
+	// Display is presentation-only, never part of identity.
+	//
+	//mflush:keyed-ignore
+	Display string
+}
+
+func (ig *Ignored) Key() string { return strconv.FormatUint(ig.ID, 10) }
+
+// Multi splits coverage across two key methods.
+//
+//mflush:keyed KeyA KeyB
+type Multi struct {
+	A uint64
+	B uint64
+}
+
+func (m *Multi) KeyA() uint64 { return m.A }
+func (m *Multi) KeyB() uint64 { return m.B }
+
+//mflush:keyed Missing // want `//mflush:keyed names method Missing, but NoMethod has no such method`
+type NoMethod struct {
+	ID uint64 // want `field ID of //mflush:keyed struct NoMethod is not consumed by Missing`
+}

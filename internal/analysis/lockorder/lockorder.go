@@ -1,0 +1,227 @@
+// Package lockorder machine-checks the lock discipline that
+// internal/metrics documents in prose: fields annotated
+// `//mflush:guarded-by <mu>` (the registry's family list and name index,
+// a family's children and index, the scrape scratch buffer) may only be
+// touched while that mutex is lexically held on the same receiver
+// expression, and no second mutex may be acquired while one is held
+// (the registry's no-nesting rule — scrape-time callbacks run under a
+// single family lock, never two). The update side of the discipline —
+// Counter/Gauge/Histogram writes touch only atomics — is carried by the
+// `//mflush:hotpath` annotations on the update methods: the hotpath
+// analyzer rejects any mutex operation there because sync is not an
+// audited callee package.
+//
+// The analysis is lexical and per-function: a Lock/RLock on an
+// expression adds "expr.mu" to the held set for the following
+// statements of the same block (a deferred Unlock keeps it held to
+// function end; an inline Unlock removes it), and nested blocks inherit
+// a copy. Helpers that rely on a caller's lock, or intentional nesting,
+// are suppressed statement-by-statement with `//mflush:locks-ok`.
+// Composite-literal initialization is exempt by construction — field
+// keys in a literal are not selector accesses — which matches the
+// init-before-publication idiom registration uses.
+package lockorder
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the guarded-field / lock-nesting check. It matches every
+// module package; only //mflush:guarded-by fields and mutex operations
+// trigger it.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "//mflush:guarded-by fields require their mutex lexically held; no nested mutex acquisition without //mflush:locks-ok",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &walker{pass: pass, file: file}
+			w.block(fd.Body.List, map[string]bool{})
+		}
+	}
+	return nil
+}
+
+// walker carries one function's lexical lock analysis.
+type walker struct {
+	pass *analysis.Pass
+	file *ast.File
+}
+
+// block processes a statement list with an inherited copy of the held
+// set; changes inside the block do not escape it (an unlock on an
+// early-return branch must not clear the fall-through path's held set).
+func (w *walker) block(list []ast.Stmt, held map[string]bool) {
+	h := make(map[string]bool, len(held))
+	for k := range held {
+		h[k] = true
+	}
+	for _, s := range list {
+		w.stmt(s, h)
+	}
+}
+
+// stmt processes one statement: lock operations mutate the held set,
+// compound statements recurse, and everything else has its expressions
+// checked for guarded accesses under the current held set.
+func (w *walker) stmt(s ast.Stmt, held map[string]bool) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		w.block(s.List, held)
+	case *ast.IfStmt:
+		w.stmt(s.Init, held)
+		w.check(s.Cond, held, s)
+		w.block(s.Body.List, held)
+		w.stmt(s.Else, held)
+	case *ast.ForStmt:
+		w.stmt(s.Init, held)
+		w.check(s.Cond, held, s)
+		w.stmt(s.Post, held)
+		w.block(s.Body.List, held)
+	case *ast.RangeStmt:
+		w.check(s.X, held, s)
+		w.block(s.Body.List, held)
+	case *ast.SwitchStmt:
+		w.stmt(s.Init, held)
+		w.check(s.Tag, held, s)
+		w.block(s.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		w.stmt(s.Init, held)
+		w.stmt(s.Assign, held)
+		w.block(s.Body.List, held)
+	case *ast.SelectStmt:
+		w.block(s.Body.List, held)
+	case *ast.CaseClause:
+		for _, e := range s.List {
+			w.check(e, held, s)
+		}
+		w.block(s.Body, held)
+	case *ast.CommClause:
+		w.stmt(s.Comm, held)
+		w.block(s.Body, held)
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt, held)
+	case *ast.DeferStmt:
+		// `defer x.mu.Unlock()` keeps the lock held to function end.
+		if _, op := w.lockOp(s.Call); op == opUnlock {
+			return
+		}
+		w.check(s.Call, held, s)
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if mu, op := w.lockOp(call); op != opNone {
+				if op == opLock {
+					if len(held) > 0 && !w.pass.StmtMarked(w.file, s, analysis.MarkLocksOK) {
+						w.pass.Reportf(s.Pos(), "acquiring %s while holding %s; the lock discipline forbids nesting — restructure or mark //mflush:locks-ok", mu, anyKey(held))
+					}
+					held[mu] = true
+				} else {
+					delete(held, mu)
+				}
+				return
+			}
+		}
+		w.check(s.X, held, s)
+	default:
+		w.check(s, held, s)
+	}
+}
+
+// lock operations.
+type op int
+
+const (
+	opNone op = iota
+	opLock
+	opUnlock
+)
+
+// lockOp recognizes calls to (RW)Mutex Lock/RLock/Unlock/RUnlock and
+// returns the lock identity ("r.mu") plus the operation kind.
+func (w *walker) lockOp(call *ast.CallExpr) (string, op) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	fn, ok := w.pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", opNone
+	}
+	mu := analysis.ExprString(sel.X)
+	if mu == "" || !analysis.IsMutex(w.pass.Info.Types[sel.X].Type) {
+		return "", opNone
+	}
+	switch fn.Name() {
+	case "Lock", "RLock":
+		return mu, opLock
+	case "Unlock", "RUnlock":
+		return mu, opUnlock
+	}
+	return "", opNone
+}
+
+// check walks one node (expression, or a simple statement's expression
+// tree, including closure bodies — a closure evaluated inline, like the
+// sort.Search callback under the registry lock, sees the current held
+// set) and reports guarded-field accesses whose mutex is not held.
+func (w *walker) check(n ast.Node, held map[string]bool, stmt ast.Stmt) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		sel, ok := node.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s := w.pass.Info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return true
+		}
+		field := s.Obj()
+		t := s.Recv()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return true
+		}
+		mu, guarded := w.pass.Facts.GuardedBy[analysis.TypeID(named.Obj())+"."+field.Name()]
+		if !guarded {
+			return true
+		}
+		base := analysis.ExprString(sel.X)
+		if base != "" && held[base+"."+mu] {
+			return true
+		}
+		if w.pass.StmtMarked(w.file, stmt, analysis.MarkLocksOK) {
+			return true
+		}
+		w.pass.Reportf(sel.Pos(), "%s.%s is //mflush:guarded-by %s, which is not held here; lock %s.%s first or mark the statement //mflush:locks-ok",
+			base, field.Name(), mu, base, mu)
+		return true
+	})
+}
+
+// anyKey returns the smallest element of a non-empty set — smallest so
+// the diagnostic text is deterministic across runs.
+func anyKey(m map[string]bool) string {
+	min := ""
+	for k := range m {
+		if min == "" || k < min {
+			min = k
+		}
+	}
+	return min
+}

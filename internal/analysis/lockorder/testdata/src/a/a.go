@@ -1,0 +1,87 @@
+// Package a exercises the lockorder analyzer: //mflush:guarded-by
+// fields touched without their mutex, and nested lock acquisition.
+package a
+
+import "sync"
+
+type Registry struct {
+	mu    sync.Mutex
+	names map[string]int //mflush:guarded-by mu
+
+	aux   sync.Mutex
+	other int //mflush:guarded-by aux
+}
+
+func (r *Registry) goodDefer() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.names["a"] // deferred unlock keeps mu held to function end
+}
+
+func (r *Registry) goodInline() {
+	r.mu.Lock()
+	r.names["a"] = 1
+	r.mu.Unlock()
+}
+
+func (r *Registry) badUnlocked() int {
+	return r.names["a"] // want `r.names is //mflush:guarded-by mu, which is not held here`
+}
+
+func (r *Registry) badAfterUnlock() {
+	r.mu.Lock()
+	r.names["a"] = 1
+	r.mu.Unlock()
+	r.names["b"] = 2 // want `r.names is //mflush:guarded-by mu, which is not held here`
+}
+
+// locksOK relies on its caller's lock; the opt-out is per statement.
+func (r *Registry) locksOK() int {
+	//mflush:locks-ok
+	return r.names["a"]
+}
+
+func (r *Registry) badNested() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.aux.Lock() // want `acquiring r.aux while holding r.mu; the lock discipline forbids nesting`
+	r.other = 1
+	r.aux.Unlock()
+}
+
+func (r *Registry) nestedOK() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	//mflush:locks-ok
+	r.aux.Lock()
+	r.other = 2
+	r.aux.Unlock()
+}
+
+// branchUnlock: an unlock on an early-return branch must not clear the
+// fall-through path's held set.
+func (r *Registry) branchUnlock(cond bool) {
+	r.mu.Lock()
+	if cond {
+		r.mu.Unlock()
+		return
+	}
+	r.names["a"] = 1
+	r.mu.Unlock()
+}
+
+// closureUnderLock: a closure evaluated under the lock sees the held
+// set (the sort.Search-under-registry-lock idiom).
+func (r *Registry) closureUnderLock() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := func() int { return r.names["a"] }
+	return f()
+}
+
+// mismatch: holding a's mutex does not license touching b's fields.
+func mismatch(a, b *Registry) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.names["x"] = 1 // want `b.names is //mflush:guarded-by mu, which is not held here`
+}

@@ -1,0 +1,53 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/errwrap"
+	"repro/internal/analysis/hotpath"
+	"repro/internal/analysis/keyhash"
+	"repro/internal/analysis/lockorder"
+
+	"repro/internal/analysis/determinism"
+)
+
+// TestSelfCheck runs the full mflushvet analyzer suite over the module
+// itself and requires a clean bill: zero diagnostics, and in particular
+// zero strays — every //mflush: annotation in the tree must bind to a
+// node the analyzers recognize. This is the in-tree equivalent of the
+// CI lint gate, so `go test ./...` alone catches a reintroduced
+// violation or a typoed annotation.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives go list -export over the whole module")
+	}
+	root, err := driver.ModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	res, err := driver.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	analyzers := []*analysis.Analyzer{
+		analysis.Annotations,
+		determinism.Analyzer,
+		hotpath.Analyzer,
+		keyhash.Analyzer,
+		lockorder.Analyzer,
+		errwrap.Analyzer,
+	}
+	diags := driver.Run(res, analyzers)
+	if len(diags) == 0 {
+		return
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString("\n  ")
+		b.WriteString(d.String())
+	}
+	t.Errorf("mflushvet is not clean on the module itself (%d diagnostics):%s", len(diags), b.String())
+}

@@ -30,10 +30,14 @@ import (
 // main-memory latency, per-thread register reservation). A zero field
 // leaves the paper's default; the zero Tweak is the baseline machine.
 // Declarative fields — unlike sim.Options.Tweak's opaque function — can
-// be serialised into spec files and hashed into job keys.
+// be serialised into spec files and hashed into job keys. keyhash
+// holds every field to canon's coverage.
+//
+//mflush:keyed canon
 type Tweak struct {
 	// Name labels the machine point in results and aggregation cells;
 	// it does not participate in job keys (content does).
+	//mflush:keyed-ignore
 	Name string `json:"name,omitempty"`
 	// MSHREntries overrides the per-core miss status holding register
 	// count.
@@ -278,7 +282,11 @@ func (s Spec) Jobs() ([]Job, error) {
 	return jobs, nil
 }
 
-// Job is one fully specified simulation of a campaign.
+// Job is one fully specified simulation of a campaign. Every field is
+// result-determining and therefore key material; keyhash enforces that
+// Key (with GangKey) covers whatever fields this struct grows.
+//
+//mflush:keyed Key GangKey
 type Job struct {
 	// Workload selects the benchmark mix. Zero when Trace is set.
 	Workload workload.Workload
@@ -324,7 +332,7 @@ func (j Job) Key() string {
 // pre-trace store stays addressable (frozen-key test).
 func (j Job) workloadID() string {
 	if j.Trace != nil {
-		return TracePrefix + j.Trace.Digest
+		return j.Trace.keyMaterial()
 	}
 	return j.Workload.Name
 }

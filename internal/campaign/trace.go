@@ -25,18 +25,32 @@ import (
 // TracePrefix marks a workloads-axis entry as a scenario trace file.
 const TracePrefix = "trace:"
 
-// TraceRef identifies a scenario-trace workload by content.
+// TraceRef identifies a scenario-trace workload by content: only the
+// digest is key material (keyhash-enforced via keyMaterial); name and
+// path are labels and locators that may differ across machines without
+// changing the job.
+//
+//mflush:keyed keyMaterial
 type TraceRef struct {
 	// Name is the axis entry as the spec wrote it ("trace:PATH"); it
 	// labels records and aggregation cells but never participates in
 	// keys (content does).
+	//mflush:keyed-ignore
 	Name string `json:"name"`
 	// Path locates the trace file. Fleet workers resolve the same path
 	// on their own filesystem.
+	//mflush:keyed-ignore
 	Path string `json:"path"`
 	// Digest is the hex SHA-256 of the file's raw bytes. Job keys hash
 	// the digest, not the path.
 	Digest string `json:"digest"`
+}
+
+// keyMaterial is the trace axis's contribution to job keys: the
+// content digest under the trace: prefix. Job.workloadID splices it
+// into Key/GangKey material.
+func (ref *TraceRef) keyMaterial() string {
+	return TracePrefix + ref.Digest
 }
 
 // ResolveTrace resolves one "trace:PATH" axis entry by digesting the

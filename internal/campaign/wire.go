@@ -13,11 +13,18 @@ import (
 // their resolved structs, so it stays small and survives version skew
 // detectably: a worker reconstructs the Job with WireJob.Job and
 // verifies the reconstructed key against Key before simulating.
+// keyhash holds every field to Job's coverage: a wire field the
+// reconstruction drops would silently decouple the wire form from the
+// job identity it claims.
+//
+//mflush:keyed Job
 type WireJob struct {
 	// Key is the coordinator-computed content hash (Job.Key). Workers
 	// echo it in results and failures, and reject jobs whose
 	// reconstructed key differs (a workload/policy definition mismatch
-	// between coordinator and worker builds).
+	// between coordinator and worker builds). It is the hash, not
+	// material for it.
+	//mflush:keyed-ignore
 	Key string `json:"key"`
 	// Workload is the paper workload name (resolved via workload.ByName).
 	// Empty for trace jobs, which carry Trace instead.

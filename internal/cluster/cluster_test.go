@@ -127,17 +127,14 @@ func TestLeaseReissuedAfterWorkerDeath(t *testing.T) {
 
 	// The survivor heartbeats and polls; after the TTL it receives the
 	// re-issued job.
-	deadline := time.Now().Add(10 * time.Second)
 	var reissued []campaign.WireJob
-	for len(reissued) == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("lease never re-issued after worker death")
-		}
+	simtest.WaitFor(t, 10*time.Second, func() bool {
 		reissued, err = c.Lease(live.ID, 1, 50*time.Millisecond, Liveness{})
 		if err != nil {
 			t.Fatal(err)
 		}
-	}
+		return len(reissued) > 0
+	}, "lease never re-issued after worker death")
 	if reissued[0].Key != j.Key() {
 		t.Fatalf("re-issued job = %+v", reissued[0])
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/metrics"
+	"repro/internal/simtest"
 )
 
 // scrapeValues renders r and returns every sample keyed by its rendered
@@ -112,16 +113,8 @@ func TestCoordinatorMetrics(t *testing.T) {
 
 	// Let the worker's TTL expire: the fleet empties and its per-worker
 	// series leave the exposition.
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if c.LiveWorkers() == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("worker never expired")
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	simtest.WaitFor(t, 2*time.Second, func() bool { return c.LiveWorkers() == 0 },
+		"worker never expired")
 	vals = scrapeValues(t, reg)
 	if vals["mflush_fleet_workers"] != 0 {
 		t.Fatalf("fleet workers = %v after expiry, want 0", vals["mflush_fleet_workers"])
@@ -141,17 +134,13 @@ func TestLeaseExpiryCounters(t *testing.T) {
 	jobs := testJobs(t, 11)
 	w1, _ := c.Register("leaver", 1)
 	go func() { c.Dispatch(context.Background(), jobs[0]) }()
-	deadline := time.Now().Add(2 * time.Second)
-	for {
-		if batch, err := c.Lease(w1.ID, 1, 100*time.Millisecond, Liveness{}); err != nil {
+	simtest.WaitFor(t, 2*time.Second, func() bool {
+		batch, err := c.Lease(w1.ID, 1, 100*time.Millisecond, Liveness{})
+		if err != nil {
 			t.Fatal(err)
-		} else if len(batch) == 1 {
-			break
 		}
-		if time.Now().After(deadline) {
-			t.Fatal("never leased the dispatched job")
-		}
-	}
+		return len(batch) == 1
+	}, "never leased the dispatched job")
 	if err := c.Deregister(w1.ID); err != nil {
 		t.Fatal(err)
 	}

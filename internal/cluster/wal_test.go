@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/simtest"
 )
 
 // dispatchAsync parks a Dispatch call in a goroutine and returns the
@@ -30,13 +31,8 @@ func dispatchAsync(c *Coordinator, j campaign.Job) <-chan error {
 // a deterministic enqueue order.
 func waitPending(t *testing.T, c *Coordinator, n int) {
 	t.Helper()
-	deadline := time.Now().Add(5 * time.Second)
-	for c.Pending() != n {
-		if time.Now().After(deadline) {
-			t.Fatalf("pending = %d, want %d", c.Pending(), n)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	simtest.WaitFor(t, 5*time.Second, func() bool { return c.Pending() == n },
+		"pending = %d, want %d", func() any { return c.Pending() }, n)
 }
 
 // writeWALFile writes records as JSONL to path, for tests that

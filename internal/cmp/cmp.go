@@ -43,6 +43,8 @@ func New(cfg config.Config, policies []policy.Policy,
 
 // Tick advances the whole chip one cycle: the shared system first (its
 // responses reach the cores this cycle), then every core.
+//
+//mflush:hotpath-ok
 func (ch *Chip) Tick() {
 	for _, r := range ch.l2.Tick(ch.now) {
 		ch.cores[r.CoreID].HandleResponse(r, ch.now)
@@ -57,6 +59,8 @@ func (ch *Chip) Tick() {
 }
 
 // Run advances the chip by the given number of cycles.
+//
+//mflush:hotpath-ok
 func (ch *Chip) Run(cycles uint64) {
 	for i := uint64(0); i < cycles; i++ {
 		ch.Tick()
@@ -64,6 +68,8 @@ func (ch *Chip) Run(cycles uint64) {
 }
 
 // Now returns the current cycle.
+//
+//mflush:hotpath-ok
 func (ch *Chip) Now() uint64 { return ch.now }
 
 // Cores returns the core models.

@@ -30,6 +30,8 @@ type Totals struct {
 // ReadTotals fills t with the current cumulative totals. It allocates
 // nothing and mutates no simulator state, so probes may call it every
 // cycle without perturbing determinism or the zero-allocation cycle loop.
+//
+//mflush:hotpath-ok
 func (ch *Chip) ReadTotals(t *Totals) {
 	*t = Totals{}
 	for _, c := range ch.cores {
@@ -46,6 +48,8 @@ func (ch *Chip) ReadTotals(t *Totals) {
 // AppendCommitted appends the per-thread committed counts in global
 // thread order (core-major) to dst and returns the extended slice —
 // allocation-free once dst has capacity.
+//
+//mflush:hotpath-ok
 func (ch *Chip) AppendCommitted(dst []uint64) []uint64 {
 	for _, c := range ch.cores {
 		dst = c.AppendCommitted(dst)

@@ -100,6 +100,8 @@ func (f *MCRegFile) Snapshot() []uint8 {
 // extended slice. It is the allocation-free form of Snapshot for per-
 // interval samplers: pass dst[:0] of a reused buffer to refresh it in
 // place.
+//
+//mflush:hotpath-ok
 func (f *MCRegFile) AppendSnapshot(dst []uint8) []uint8 {
 	for _, h := range f.histories {
 		dst = append(dst, h[0])
@@ -206,6 +208,8 @@ func (m *MFLUSH) Name() string { return "MFLUSH" }
 func (m *MFLUSH) Env() OperationalEnvironment { return m.env }
 
 // MCReg exposes the register file (reports, tests).
+//
+//mflush:hotpath-ok
 func (m *MFLUSH) MCReg() *MCRegFile { return m.mcreg }
 
 // OnL1Miss implements policy.Policy: predict the access's resolution time

@@ -17,6 +17,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"repro/internal/simtest"
 )
 
 // crashSpec is the campaign every scenario interrupts: four jobs, so a
@@ -206,8 +208,7 @@ func submit(base, spec string) (string, error) {
 // never touching the queue the matrix wants to crash.
 func waitFleet(t *testing.T, base string, n int) {
 	t.Helper()
-	deadline := time.Now().Add(30 * time.Second)
-	for time.Now().Before(deadline) {
+	simtest.WaitFor(t, 30*time.Second, func() bool {
 		resp, err := client.Get(base + "/v1/workers")
 		if err != nil {
 			t.Fatalf("fleet poll: %v", err)
@@ -220,19 +221,14 @@ func waitFleet(t *testing.T, base string, n int) {
 		if err := json.Unmarshal(body, &fleet); err != nil {
 			t.Fatalf("fleet poll: %v (%s)", err, body)
 		}
-		if len(fleet.Workers) >= n {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	t.Fatalf("fleet never reached %d workers", n)
+		return len(fleet.Workers) >= n
+	}, "fleet never reached %d workers", n)
 }
 
 // waitDone polls a campaign to its terminal state.
 func waitDone(t *testing.T, base, id string) {
 	t.Helper()
-	deadline := time.Now().Add(120 * time.Second)
-	for time.Now().Before(deadline) {
+	simtest.WaitFor(t, 120*time.Second, func() bool {
 		resp, err := client.Get(base + "/v1/campaigns/" + id)
 		if err != nil {
 			t.Fatalf("status poll: %v", err)
@@ -245,16 +241,11 @@ func waitDone(t *testing.T, base, id string) {
 		if err := json.Unmarshal(body, &st); err != nil {
 			t.Fatalf("status poll: %v (%s)", err, body)
 		}
-		switch st.State {
-		case "done":
-			return
-		case "running":
-			time.Sleep(20 * time.Millisecond)
-		default:
+		if st.State != "done" && st.State != "running" {
 			t.Fatalf("campaign %s settled as %q, want done", id, st.State)
 		}
-	}
-	t.Fatalf("campaign %s never finished", id)
+		return st.State == "done"
+	}, "campaign %s never finished", id)
 }
 
 // aggregates fetches every format of a campaign's result.

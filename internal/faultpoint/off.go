@@ -25,14 +25,20 @@ package faultpoint
 // Production code uses it to guard extra work a firing point needs
 // prepared (e.g. tearing a write in half before crashing); in ordinary
 // builds it is constant false, so the guarded branch is eliminated.
+//
+//mflush:hotpath-ok
 func Active(string) bool { return false }
 
 // Hit marks the named point. In ordinary builds it does nothing; with
 // the faultpoint tag it crashes or delays when the point is armed.
+//
+//mflush:hotpath-ok
 func Hit(string) {}
 
 // Check marks the named point and returns its injected error, if any.
 // Ordinary builds always return nil.
+//
+//mflush:hotpath-ok
 func Check(string) error { return nil }
 
 // Enabled reports whether fault injection is compiled in at all — false

@@ -57,13 +57,13 @@ var DefBuckets = []float64{
 // value is not usable — create with NewRegistry.
 type Registry struct {
 	mu       sync.RWMutex
-	families []*family // sorted by name (insertion keeps order)
-	byName   map[string]*family
+	families []*family          //mflush:guarded-by mu
+	byName   map[string]*family //mflush:guarded-by mu
 
 	// scratch is the scrape buffer, reused across WriteTo calls (one
 	// scrape at a time takes it; concurrent scrapes fall back to a
 	// fresh buffer rather than blocking).
-	scratch   []byte
+	scratch   []byte //mflush:guarded-by scratchMu
 	scratchMu sync.Mutex
 }
 
@@ -82,8 +82,8 @@ type family struct {
 	buckets []float64 // histogram kind only
 
 	mu       sync.Mutex
-	children []*child
-	index    map[string]*child
+	children []*child          //mflush:guarded-by mu
+	index    map[string]*child //mflush:guarded-by mu
 }
 
 // child is one sample series within a family: a concrete metric or a
@@ -221,6 +221,8 @@ func lessValues(a, b []string) bool {
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds one.
+//
+//mflush:hotpath
 func (c *Counter) Inc() {
 	if c != nil {
 		c.v.Add(1)
@@ -228,6 +230,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//mflush:hotpath
 func (c *Counter) Add(n uint64) {
 	if c != nil {
 		c.v.Add(n)
@@ -246,6 +250,8 @@ func (c *Counter) Value() uint64 {
 type Gauge struct{ bits atomic.Uint64 }
 
 // Set stores v.
+//
+//mflush:hotpath
 func (g *Gauge) Set(v float64) {
 	if g != nil {
 		g.bits.Store(math.Float64bits(v))
@@ -253,6 +259,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add adds d (CAS loop; contended adds retry).
+//
+//mflush:hotpath
 func (g *Gauge) Add(d float64) {
 	if g == nil {
 		return
@@ -266,9 +274,13 @@ func (g *Gauge) Add(d float64) {
 }
 
 // Inc adds one.
+//
+//mflush:hotpath
 func (g *Gauge) Inc() { g.Add(1) }
 
 // Dec subtracts one.
+//
+//mflush:hotpath
 func (g *Gauge) Dec() { g.Add(-1) }
 
 // Value returns the current value.
@@ -293,6 +305,8 @@ func newHistogram(buckets []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//mflush:hotpath
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

@@ -119,13 +119,8 @@ func startTestWorker(t *testing.T, base, name string, r *simtest.Runner, capacit
 // waitFleet polls until n workers are registered.
 func waitFleet(t *testing.T, coord *cluster.Coordinator, n int) {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for coord.LiveWorkers() != n {
-		if time.Now().After(deadline) {
-			t.Fatalf("fleet never reached %d workers (have %d)", n, coord.LiveWorkers())
-		}
-		time.Sleep(time.Millisecond)
-	}
+	simtest.WaitFor(t, 10*time.Second, func() bool { return coord.LiveWorkers() == n },
+		"fleet never reached %d workers (have %d)", n, func() any { return coord.LiveWorkers() })
 }
 
 // localRunnerMustNotRun fails the test if the daemon ever simulates
@@ -163,19 +158,7 @@ func TestClusterShardsAcrossThreeWorkersByteIdentical(t *testing.T) {
 	waitFleet(t, coord, 3)
 
 	sub := postSpec(t, ts, clusterSpec)
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		_, body := fetch(t, ts, sub.StatusURL)
-		var st Status
-		mustUnmarshal(t, body, &st)
-		if st.State == StateDone {
-			break
-		}
-		if st.State != StateRunning || time.Now().After(deadline) {
-			t.Fatalf("cluster campaign state %q", st.State)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitDone(t, ts, sub.StatusURL, 30*time.Second, "cluster campaign")
 
 	// Exactly once fleet-wide: 8 distinct jobs, 8 simulations total, no
 	// job run twice anywhere.
@@ -266,19 +249,7 @@ func TestClusterWorkerKillMidCampaignExactlyOnce(t *testing.T) {
 	}
 	doomedWorker.kill()
 
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		_, body := fetch(t, ts, sub.StatusURL)
-		var st Status
-		mustUnmarshal(t, body, &st)
-		if st.State == StateDone {
-			break
-		}
-		if st.State != StateRunning || time.Now().After(deadline) {
-			t.Fatalf("campaign after worker kill: state %q", st.State)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitDone(t, ts, sub.StatusURL, 30*time.Second, "campaign after worker kill")
 
 	// Every one of the 8 jobs ran to completion exactly once, all on the
 	// survivors: their totals account for every job, neither ran any job
@@ -361,19 +332,7 @@ func TestClusterFleetDeathFallsBackLocal(t *testing.T) {
 	}
 	worker.kill()
 
-	deadline := time.Now().Add(30 * time.Second)
-	for {
-		_, body := fetch(t, ts, sub.StatusURL)
-		var st Status
-		mustUnmarshal(t, body, &st)
-		if st.State == StateDone {
-			break
-		}
-		if st.State != StateRunning || time.Now().After(deadline) {
-			t.Fatalf("campaign after fleet death: state %q", st.State)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitDone(t, ts, sub.StatusURL, 30*time.Second, "campaign after fleet death")
 	if local.Total() != 8 {
 		t.Fatalf("local fallback simulated %d jobs, want all 8", local.Total())
 	}
@@ -416,19 +375,7 @@ func TestWorkerDrainOutlastingLeaseTTLKeepsLeases(t *testing.T) {
 		t.Fatal("worker never finished draining")
 	}
 
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		_, body := fetch(t, ts, sub.StatusURL)
-		var st Status
-		mustUnmarshal(t, body, &st)
-		if st.State == StateDone {
-			break
-		}
-		if st.State != StateRunning || time.Now().After(deadline) {
-			t.Fatalf("campaign state %q after slow drain", st.State)
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitDone(t, ts, sub.StatusURL, 10*time.Second, "campaign after slow drain")
 	// The drained worker delivered its own result: nothing was reaped,
 	// re-issued or simulated twice.
 	if n := coord.Requeues(); n != 0 {

@@ -15,6 +15,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/cluster"
 	"repro/internal/sim"
+	"repro/internal/simtest"
 )
 
 // gangClusterSpec expands to six jobs sharing one gang key (one
@@ -119,13 +120,8 @@ func TestGangWorkerCacheByteIdenticalAcrossRestart(t *testing.T) {
 	// so it leases all six jobs in one batch and the gang grouping is
 	// deterministic.
 	sub := postSpec(t, ts1, gangClusterSpec)
-	deadline := time.Now().Add(30 * time.Second)
-	for coord1.Pending() < len(jobs) {
-		if time.Now().After(deadline) {
-			t.Fatalf("queue reached %d of %d jobs", coord1.Pending(), len(jobs))
-		}
-		time.Sleep(time.Millisecond)
-	}
+	simtest.WaitFor(t, 30*time.Second, func() bool { return coord1.Pending() >= len(jobs) },
+		"queue reached %d of %d jobs", func() any { return coord1.Pending() }, len(jobs))
 	close(gate.gate)
 	if state := waitState(t, srv1, sub.ID); state != StateDone {
 		t.Fatalf("gang-executed campaign state %q", state)

@@ -51,6 +51,24 @@ func postSpec(t *testing.T, ts *httptest.Server, spec string) submitResponse {
 	return sub
 }
 
+// waitDone polls a campaign's status URL until it reports done, failing
+// fast — with the what prefix — if it leaves the running state.
+func waitDone(t *testing.T, ts *httptest.Server, statusURL string, timeout time.Duration, what string) {
+	t.Helper()
+	simtest.WaitFor(t, timeout, func() bool {
+		_, body := fetch(t, ts, statusURL)
+		var st Status
+		mustUnmarshal(t, body, &st)
+		if st.State == StateDone {
+			return true
+		}
+		if st.State != StateRunning {
+			t.Fatalf("%s: campaign state %q", what, st.State)
+		}
+		return false
+	}, "%s: campaign never reached done", what)
+}
+
 // TestConcurrentIdenticalCampaignsSimulateOnce is the daemon's core
 // promise: two clients submitting the same campaign at the same time
 // cost one simulation per job, not two, and both receive byte-identical
@@ -81,19 +99,7 @@ func TestConcurrentIdenticalCampaignsSimulateOnce(t *testing.T) {
 	close(r.Gate)
 
 	for _, sub := range []submitResponse{subA, subB} {
-		deadline := time.Now().Add(10 * time.Second)
-		for {
-			_, body := fetch(t, ts, sub.StatusURL)
-			var st Status
-			json.Unmarshal(body, &st)
-			if st.State == StateDone {
-				break
-			}
-			if st.State != StateRunning || time.Now().After(deadline) {
-				t.Fatalf("campaign %s state %q", sub.ID, st.State)
-			}
-			time.Sleep(time.Millisecond)
-		}
+		waitDone(t, ts, sub.StatusURL, 10*time.Second, "campaign "+sub.ID)
 	}
 
 	// Exactly one simulator invocation per distinct job.
@@ -320,19 +326,7 @@ func TestSSETerminalEventForLateSubscriber(t *testing.T) {
 	defer ts.Close()
 
 	sub := postSpec(t, ts, specBody)
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		_, body := fetch(t, ts, sub.StatusURL)
-		var st Status
-		json.Unmarshal(body, &st)
-		if st.State == StateDone {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("campaign never finished")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitDone(t, ts, sub.StatusURL, 10*time.Second, "event-log campaign")
 
 	_, body := fetch(t, ts, sub.EventsURL)
 	text := string(body)

@@ -83,8 +83,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 
 	// Mid-flight: jobs hold the queue open and the first live samples
 	// have been published (the runner emits one before blocking).
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	simtest.WaitFor(t, 10*time.Second, func() bool {
 		vals := scrape(t, s)
 		if vals["mflush_admission_queue_depth"] > 0 &&
 			vals["mflush_campaign_interval_ipc|campaign="+id] == 2.5 {
@@ -94,13 +93,10 @@ func TestMetricsEndToEnd(t *testing.T) {
 			if v := vals["mflush_campaigns_submitted_total"]; v != 1 {
 				t.Fatalf("submitted = %v, want 1", v)
 			}
-			break
+			return true
 		}
-		if time.Now().After(deadline) {
-			t.Fatalf("mid-flight metrics never appeared; scrape = %v", vals)
-		}
-		time.Sleep(time.Millisecond)
-	}
+		return false
+	}, "mid-flight metrics never appeared; scrape = %v", func() any { return scrape(t, s) })
 
 	close(gate)
 	if st := waitState(t, s, id); st != StateDone {
@@ -110,17 +106,10 @@ func TestMetricsEndToEnd(t *testing.T) {
 	// Settled: the queue drained, the per-campaign IPC series was
 	// deleted with its campaign, and all four jobs were cache misses.
 	var vals map[string]float64
-	deadline = time.Now().Add(10 * time.Second)
-	for {
+	simtest.WaitFor(t, 10*time.Second, func() bool {
 		vals = scrape(t, s)
-		if vals["mflush_admission_queue_depth"] == 0 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("queue depth never drained; scrape = %v", vals)
-		}
-		time.Sleep(time.Millisecond)
-	}
+		return vals["mflush_admission_queue_depth"] == 0
+	}, "queue depth never drained; scrape = %v", func() any { return scrape(t, s) })
 	if _, ok := vals["mflush_campaign_interval_ipc|campaign="+id]; ok {
 		t.Fatal("per-campaign IPC series not deleted after campaign settled")
 	}
@@ -188,16 +177,9 @@ func TestMetricsSSESubscribers(t *testing.T) {
 		s.ServeHTTP(rec, req) // returns once the campaign settles
 	}()
 
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if v := scrape(t, s)["mflush_sse_subscribers"]; v == 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("SSE subscriber gauge never rose")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	simtest.WaitFor(t, 10*time.Second,
+		func() bool { return scrape(t, s)["mflush_sse_subscribers"] == 1 },
+		"SSE subscriber gauge never rose")
 	close(r.Gate)
 	waitState(t, s, id)
 	<-done

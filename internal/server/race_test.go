@@ -112,20 +112,18 @@ func TestConcurrentSubmitCancelSSEChurn(t *testing.T) {
 	// Goroutine-leak check: with the server closed and drained, we must
 	// settle back to the baseline (small slack for runtime background
 	// goroutines). Mid-stream SSE disconnects are the classic leak here.
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before+3 {
-			return
-		}
-		if time.Now().After(deadline) {
-			var buf strings.Builder
-			pprof.Lookup("goroutine").WriteTo(&buf, 1)
-			t.Fatalf("goroutines leaked: %d before churn, %d after settling:\n%s",
-				before, runtime.NumGoroutine(), buf.String())
+	simtest.WaitFor(t, 10*time.Second, func() bool {
+		if runtime.NumGoroutine() <= before+3 {
+			return true
 		}
 		runtime.GC() // nudge finalizer-held conns
-		time.Sleep(50 * time.Millisecond)
-	}
+		return false
+	}, "goroutines leaked: %d before churn, %d after settling:\n%s",
+		before, func() any { return runtime.NumGoroutine() }, func() any {
+			var buf strings.Builder
+			pprof.Lookup("goroutine").WriteTo(&buf, 1)
+			return buf.String()
+		})
 }
 
 // postSpecErr submits a spec over real HTTP, tolerating nothing.

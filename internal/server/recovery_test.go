@@ -95,13 +95,8 @@ func TestRestartResumesCampaignByteIdentical(t *testing.T) {
 	waitFleet(t, coord1, 1)
 
 	postSpec(t, ts1, clusterSpec)
-	deadline := time.Now().Add(30 * time.Second)
-	for store1.Len() < 3 {
-		if time.Now().After(deadline) {
-			t.Fatalf("store reached %d records, want 3 before the crash", store1.Len())
-		}
-		time.Sleep(time.Millisecond)
-	}
+	simtest.WaitFor(t, 30*time.Second, func() bool { return store1.Len() >= 3 },
+		"store reached %d records, want 3 before the crash", func() any { return store1.Len() })
 
 	// Crash: the worker's machine dies with the daemon, the coordinator
 	// abandons its WAL mid-state, the listener vanishes.
@@ -146,13 +141,8 @@ func TestRestartResumesCampaignByteIdentical(t *testing.T) {
 	waitFleet(t, coord2, 1)
 
 	// The resumed campaign drains without any client involvement.
-	deadline = time.Now().Add(30 * time.Second)
-	for store2.Len() < len(wantRecs) {
-		if time.Now().After(deadline) {
-			t.Fatalf("resumed campaign stalled: %d of %d records", store2.Len(), len(wantRecs))
-		}
-		time.Sleep(time.Millisecond)
-	}
+	simtest.WaitFor(t, 30*time.Second, func() bool { return store2.Len() >= len(wantRecs) },
+		"resumed campaign stalled: %d of %d records", func() any { return store2.Len() }, len(wantRecs))
 
 	// Exactly-once: incarnation 2 simulated precisely the 5 missing
 	// jobs, none of them twice, and never re-ran a completed one.
@@ -296,13 +286,8 @@ func TestDrainDuringRecoveryLeaksNothing(t *testing.T) {
 	for i, j := range jobs {
 		j := j
 		go c1.Dispatch(context.Background(), j)
-		deadline := time.Now().Add(5 * time.Second)
-		for c1.Pending() != i+1 {
-			if time.Now().After(deadline) {
-				t.Fatalf("job %d never queued", i)
-			}
-			time.Sleep(time.Millisecond)
-		}
+		simtest.WaitFor(t, 5*time.Second, func() bool { return c1.Pending() == i+1 },
+			"job %d never queued", i)
 	}
 	c1.Crash()
 
@@ -327,20 +312,18 @@ func TestDrainDuringRecoveryLeaksNothing(t *testing.T) {
 	}
 	coord.Close()
 
-	deadline := time.Now().Add(10 * time.Second)
-	for {
-		if n := runtime.NumGoroutine(); n <= before+3 {
-			break
-		}
-		if time.Now().After(deadline) {
-			var buf strings.Builder
-			pprof.Lookup("goroutine").WriteTo(&buf, 1)
-			t.Fatalf("goroutines leaked across drain-during-recovery: %d before, %d after:\n%s",
-				before, runtime.NumGoroutine(), buf.String())
+	simtest.WaitFor(t, 10*time.Second, func() bool {
+		if runtime.NumGoroutine() <= before+3 {
+			return true
 		}
 		runtime.GC()
-		time.Sleep(50 * time.Millisecond)
-	}
+		return false
+	}, "goroutines leaked across drain-during-recovery: %d before, %d after:\n%s",
+		before, func() any { return runtime.NumGoroutine() }, func() any {
+			var buf strings.Builder
+			pprof.Lookup("goroutine").WriteTo(&buf, 1)
+			return buf.String()
+		})
 
 	// The drained daemon never ran the jobs; they must still be in the
 	// WAL for the next incarnation.

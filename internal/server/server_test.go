@@ -51,16 +51,13 @@ func submit(t *testing.T, h http.Handler, body string) string {
 // waitState polls until the campaign reaches a terminal state.
 func waitState(t *testing.T, h http.Handler, id string) string {
 	t.Helper()
-	deadline := time.Now().Add(10 * time.Second)
-	for time.Now().Before(deadline) {
+	var state string
+	simtest.WaitFor(t, 10*time.Second, func() bool {
 		_, st := do(t, h, "GET", "/v1/campaigns/"+id, "")
-		if s := st["state"].(string); s != StateRunning {
-			return s
-		}
-		time.Sleep(time.Millisecond)
-	}
-	t.Fatalf("campaign %s never settled", id)
-	return ""
+		state = st["state"].(string)
+		return state != StateRunning
+	}, "campaign %s never settled", id)
+	return state
 }
 
 func TestSubmitRunsToCompletion(t *testing.T) {
@@ -178,17 +175,10 @@ func TestBackpressure429(t *testing.T) {
 
 	// Draining the queue re-opens admission.
 	close(r.Gate)
-	deadline := time.Now().Add(10 * time.Second)
-	for {
+	simtest.WaitFor(t, 10*time.Second, func() bool {
 		code, _ := do(t, s, "POST", "/v1/campaigns", specBody)
-		if code == http.StatusAccepted {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatal("admission never re-opened after queue drained")
-		}
-		time.Sleep(time.Millisecond)
-	}
+		return code == http.StatusAccepted
+	}, "admission never re-opened after queue drained")
 }
 
 func TestCancelCampaign(t *testing.T) {

@@ -10,6 +10,13 @@ import (
 	"repro/internal/core"
 )
 
+// This file is the audited home of simulator-core concurrency: the gang
+// chunk loop fans members across worker goroutines behind deterministic
+// barriers, and the determinism analyzer forbids `go` statements in
+// every other core file.
+//
+//mflush:gang-barrier-file
+
 // GangSession runs N member simulations — variants of one study, such as
 // a policy sweep over a shared (workload, seed) — in lockstep: every
 // member advances through the same cycle window together, one chunk at a
@@ -247,6 +254,8 @@ func (g *GangSession) runChunk(c uint64) {
 
 // stepMember advances one member by n cycles on the calling goroutine,
 // mirroring Session.Step (probe-free fast path included).
+//
+//mflush:hotpath
 func (g *GangSession) stepMember(m int, n uint64) {
 	chip := g.chips[m]
 	if len(g.probes[m]) == 0 {
@@ -262,6 +271,8 @@ func (g *GangSession) stepMember(m int, n uint64) {
 // tickProbes advances member m's probe countdowns by one cycle and fires
 // the due ones, refreshing m's sample at most once per cycle (exactly
 // Session.tickProbes, against member-local state).
+//
+//mflush:hotpath
 func (g *GangSession) tickProbes(m int) {
 	refreshed := false
 	for i := range g.probes[m] {
@@ -279,6 +290,8 @@ func (g *GangSession) tickProbes(m int) {
 }
 
 // refreshSample fills member m's reusable sample from its chip.
+//
+//mflush:hotpath
 func (g *GangSession) refreshSample(m int) {
 	refreshSampleInto(&g.samples[m], &g.totals[m], g.chips[m], g.mflush[m],
 		g.measureStart[m], g.resetGen[m])

@@ -54,6 +54,8 @@ func (s *Session) Observe(p Probe) error {
 // tickProbes advances every countdown by one cycle and fires the due
 // probes. The sample is refreshed at most once per cycle, shared by all
 // probes firing on it.
+//
+//mflush:hotpath
 func (s *Session) tickProbes() {
 	refreshed := false
 	for i := range s.probes {

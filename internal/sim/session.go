@@ -73,6 +73,8 @@ func mflushPolicies(chip *cmp.Chip) []*core.MFLUSH {
 // Step advances the simulation by n cycles, firing due probes after each
 // cycle. With no probes registered it is exactly the chip's cycle loop;
 // probes add countdown bookkeeping but no allocation.
+//
+//mflush:hotpath
 func (s *Session) Step(n uint64) {
 	if s.finished {
 		panic("sim: Step on a finished session")
@@ -122,6 +124,8 @@ func (s *Session) Snapshot() *Sample {
 }
 
 // refreshSample fills s.sample from the chip, reusing its slices.
+//
+//mflush:hotpath
 func (s *Session) refreshSample() {
 	refreshSampleInto(&s.sample, &s.totals, s.chip, s.mflush, s.measureStart, s.resetGen)
 }
@@ -131,6 +135,8 @@ func (s *Session) refreshSample() {
 // by Session and GangSession (one call per gang member, against that
 // member's own sample/totals pair, so concurrent members never share a
 // buffer).
+//
+//mflush:hotpath
 func refreshSampleInto(sm *Sample, totals *cmp.Totals, chip *cmp.Chip,
 	mflush []*core.MFLUSH, measureStart, resetGen uint64) {
 	chip.ReadTotals(totals)

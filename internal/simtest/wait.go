@@ -1,0 +1,37 @@
+package simtest
+
+import (
+	"testing"
+	"time"
+)
+
+// WaitFor polls cond once a millisecond until it returns true, failing
+// the test with the formatted message if timeout elapses first. It is
+// the one sanctioned wall-clock wait in the test suites: every "spin
+// until the scheduler catches up" loop goes through here instead of
+// hand-rolling a deadline.
+//
+// Message arguments are evaluated when WaitFor is called; pass a
+// `func() any` to defer an argument to failure time ("have %d" details
+// that should reflect the state at the deadline, not at the call).
+// Conditions may also fail the test themselves for states that can
+// never become true — an error return, a campaign in a terminal bad
+// state — rather than spinning out the clock on them.
+func WaitFor(t testing.TB, timeout time.Duration, cond func() bool, format string, args ...any) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			resolved := make([]any, len(args))
+			for i, a := range args {
+				if f, ok := a.(func() any); ok {
+					resolved[i] = f()
+				} else {
+					resolved[i] = a
+				}
+			}
+			t.Fatalf(format, resolved...)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -137,8 +137,12 @@ func asOffsetError(err error, out **offsetError) bool {
 	return false
 }
 
+// badAt builds a parse error carrying the byte offset of the
+// corruption, wrapping ErrBadTrace — and, because the format runs
+// through fmt.Errorf, any %w-formatted cause in args stays on the
+// chain (errwrap requires %w for error arguments here).
 func badAt(off int64, format string, args ...any) error {
-	return &offsetError{off: off, err: fmt.Errorf("%w: %s", ErrBadTrace, fmt.Sprintf(format, args...))}
+	return &offsetError{off: off, err: fmt.Errorf("%w: "+format, append([]any{ErrBadTrace}, args...)...)}
 }
 
 // ReadScenario sniffs the encoding of r from its leading bytes and
@@ -148,7 +152,7 @@ func ReadScenario(r io.Reader) (*Scenario, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(len(scenMagic))
 	if err != nil && err != io.EOF {
-		return nil, badAt(0, "reading header: %v", err)
+		return nil, badAt(0, "reading header: %w", err)
 	}
 	switch {
 	case string(head) == scenMagic:
@@ -199,7 +203,7 @@ func SumFile(path string) (string, error) {
 
 func readScenarioBinary(br *bufio.Reader) (*Scenario, error) {
 	if _, err := br.Discard(len(scenMagic)); err != nil {
-		return nil, badAt(0, "reading header: %v", err)
+		return nil, badAt(0, "reading header: %w", err)
 	}
 	off := int64(len(scenMagic))
 	var s Scenario
@@ -213,13 +217,13 @@ func readScenarioBinary(br *bufio.Reader) (*Scenario, error) {
 			return &s, nil
 		}
 		if err != nil {
-			return nil, badAt(off, "reading record tag: %v", err)
+			return nil, badAt(off, "reading record tag: %w", err)
 		}
 		switch tag[0] {
 		case scenRecInst:
 			var buf [scenInstBytes - 1]byte
 			if _, err := io.ReadFull(br, buf[:]); err != nil {
-				return nil, badAt(off, "truncated instruction record: %v", err)
+				return nil, badAt(off, "truncated instruction record: %w", err)
 			}
 			t := int(buf[0])
 			rec := buf[1 : 1+recordBytes]
@@ -248,7 +252,7 @@ func readScenarioBinary(br *bufio.Reader) (*Scenario, error) {
 		case scenRecPhase:
 			var hdr [3]byte
 			if _, err := io.ReadFull(br, hdr[:]); err != nil {
-				return nil, badAt(off, "truncated phase record: %v", err)
+				return nil, badAt(off, "truncated phase record: %w", err)
 			}
 			t := int(hdr[0])
 			n := int(binary.LittleEndian.Uint16(hdr[1:]))
@@ -260,7 +264,7 @@ func readScenarioBinary(br *bufio.Reader) (*Scenario, error) {
 			}
 			label := make([]byte, n)
 			if _, err := io.ReadFull(br, label); err != nil {
-				return nil, badAt(off, "truncated phase label: %v", err)
+				return nil, badAt(off, "truncated phase label: %w", err)
 			}
 			for len(s.Threads) <= t {
 				s.Threads = append(s.Threads, nil)
@@ -326,7 +330,7 @@ func readScenarioJSONL(br *bufio.Reader) (*Scenario, error) {
 		dec := json.NewDecoder(bytes.NewReader(line))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&rec); err != nil {
-			return nil, badAt(lineStart, "line %d: %v", lineNo, err)
+			return nil, badAt(lineStart, "line %d: %w", lineNo, err)
 		}
 		if dec.More() {
 			return nil, badAt(lineStart, "line %d: trailing data after object", lineNo)
@@ -383,7 +387,7 @@ func readScenarioJSONL(br *bufio.Reader) (*Scenario, error) {
 		})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, badAt(off, "line %d: %v", lineNo+1, err)
+		return nil, badAt(off, "line %d: %w", lineNo+1, err)
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err

@@ -111,29 +111,32 @@ func (w *Writer) Flush() error {
 // ErrBadTrace reports a malformed trace file.
 var ErrBadTrace = errors.New("trace: malformed trace file")
 
-// ReadAll parses a complete trace file into memory.
+// ReadAll parses a complete trace file into memory. Parse errors wrap
+// ErrBadTrace and carry the byte offset of the offending record
+// (recoverable with Offset), like every other reader in this package.
 func ReadAll(r io.Reader) ([]isa.Inst, error) {
 	br := bufio.NewReader(r)
 	var magic [len(fileMagic)]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("%w: missing header: %v", ErrBadTrace, err)
+		return nil, badAt(0, "missing header: %w", err)
 	}
 	if string(magic[:]) != fileMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, magic)
+		return nil, badAt(0, "bad magic %q", magic)
 	}
 	var out []isa.Inst
 	var buf [recordBytes]byte
 	for {
+		off := int64(len(fileMagic)) + int64(len(out))*recordBytes
 		_, err := io.ReadFull(br, buf[:])
 		if err == io.EOF {
 			return out, nil
 		}
 		if err != nil {
-			return nil, fmt.Errorf("%w: truncated record %d: %v", ErrBadTrace, len(out), err)
+			return nil, badAt(off, "truncated record %d: %w", len(out), err)
 		}
 		cls := isa.Class(buf[8])
 		if int(cls) >= isa.NumClasses {
-			return nil, fmt.Errorf("%w: record %d has class %d", ErrBadTrace, len(out), cls)
+			return nil, badAt(off, "record %d has class %d", len(out), cls)
 		}
 		out = append(out, isa.Inst{
 			PC:     binary.LittleEndian.Uint64(buf[0:]),
